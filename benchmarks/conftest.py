@@ -1,0 +1,24 @@
+"""Benchmark fixtures (pytest-benchmark).
+
+Every harness both *benchmarks* its pipeline stage and *prints* the
+table/series the corresponding paper artifact reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the paper's evaluation outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "measured: needs multiprocessing (slower)")
+
+
+@pytest.fixture(scope="session")
+def kernels():
+    from repro.corpus import all_kernels
+
+    return all_kernels()

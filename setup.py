@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (offline PEP 517 editable builds need bdist_wheel; the
+legacy develop path does not)."""
+
+from setuptools import setup
+
+setup()

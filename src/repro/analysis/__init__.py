@@ -1,0 +1,40 @@
+"""The paper's core contribution: two-phase symbolic range aggregation
+that derives index-array properties (monotonicity, injectivity, identity)
+from the code that fills the arrays.
+"""
+
+from repro.analysis.driver import AnalysisResult, analyze_function, render_trace
+from repro.analysis.env import ArrayRecord, PropertyEnv
+from repro.analysis.phase1 import ArrayUpdate, IterationEffect, Phase1Analyzer
+from repro.analysis.phase2 import LoopSummary, Phase2Aggregator, SectionFact, aggregate
+from repro.analysis.properties import (
+    Prop,
+    closure,
+    describe,
+    is_injective,
+    is_monotonic,
+    join,
+    meet,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "ArrayRecord",
+    "ArrayUpdate",
+    "IterationEffect",
+    "LoopSummary",
+    "Phase1Analyzer",
+    "Phase2Aggregator",
+    "Prop",
+    "PropertyEnv",
+    "SectionFact",
+    "aggregate",
+    "analyze_function",
+    "closure",
+    "describe",
+    "is_injective",
+    "is_monotonic",
+    "join",
+    "meet",
+    "render_trace",
+]

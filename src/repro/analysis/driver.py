@@ -1,0 +1,355 @@
+"""Analysis driver (Section 3.1).
+
+Walks a function in program order.  Loops are analyzed inside-out: each
+nest is summarized bottom-up (Phase 1 then Phase 2 per level, inner
+summaries substituted into outer bodies), after which the loop is
+*collapsed* — the property environment advances over it as if it were a
+compound assignment.  Straight-line statements update scalar ranges and
+array point values (``rowptr[0] = 0``) directly.
+
+The driver records:
+
+* a :class:`~repro.analysis.env.PropertyEnv` snapshot *before every
+  loop* — the facts available when dependence-testing that loop;
+* Phase 1 / Phase 2 results per loop — rendered as the paper's
+  Section 3.5 trace by :func:`render_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.env import ArrayRecord, PropertyEnv
+from repro.analysis.phase1 import IterationEffect, Phase1Analyzer, _written_arrays
+from repro.analysis.phase2 import LoopSummary, SectionFact, aggregate
+from repro.errors import AnalysisError
+from repro.ir.nodes import (
+    IArrayRef,
+    IRFunction,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.ir.symx import ir_to_sym
+from repro.symbolic.expr import Atom, Expr, Sym, SymKind, SymKind as _SK
+from repro.symbolic.ranges import SymRange, UNKNOWN_RANGE, range_subst_range
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the rest of the pipeline consumes."""
+
+    func: IRFunction
+    summaries: dict[str, LoopSummary] = field(default_factory=dict)
+    effects: dict[str, IterationEffect] = field(default_factory=dict)
+    env_before: dict[str, PropertyEnv] = field(default_factory=dict)
+    final_env: PropertyEnv = field(default_factory=PropertyEnv)
+    phase_order: list[tuple[int, str]] = field(default_factory=list)  # (phase, label)
+
+    def summary(self, label: str) -> LoopSummary:
+        return self.summaries[label]
+
+    def effect(self, label: str) -> IterationEffect:
+        return self.effects[label]
+
+    def env_at(self, label: str) -> PropertyEnv:
+        """Facts available just before loop ``label`` executes."""
+        return self.env_before[label]
+
+
+def analyze_function(
+    func: IRFunction, initial_env: PropertyEnv | None = None
+) -> AnalysisResult:
+    """Run the full Section-3 analysis over ``func``.
+
+    ``initial_env`` seeds asserted facts (e.g. properties of index arrays
+    filled outside this function — the paper's study kernels rely on
+    these, as does the assertion mechanism of Mohammadi et al. discussed
+    in Related Work).  Writes inside ``func`` kill seeded facts as usual.
+    """
+    driver = _Driver(func, initial_env)
+    driver.walk(func.body, driver.env)
+    driver.result.final_env = driver.env
+    return driver.result
+
+
+class _Driver:
+    def __init__(self, func: IRFunction, initial_env: PropertyEnv | None = None) -> None:
+        self.func = func
+        self.env = initial_env.snapshot() if initial_env is not None else PropertyEnv()
+        self.result = AnalysisResult(func=func)
+
+    # -- program-order walk ----------------------------------------------------
+    def walk(self, stmts: list[Stmt], env: PropertyEnv) -> None:
+        for s in stmts:
+            self.step(s, env)
+
+    def step(self, s: Stmt, env: PropertyEnv) -> None:
+        if isinstance(s, SAssign):
+            self._assign(s, env)
+        elif isinstance(s, SIf):
+            self._if(s, env)
+        elif isinstance(s, SLoop):
+            self._loop(s, env)
+        elif isinstance(s, SWhile):
+            self._havoc(s.body, env)
+        elif isinstance(s, SCall):
+            for a in s.call.args:
+                if isinstance(a, IVar) and self.func.symtab.is_array(a.name):
+                    env.kill_array(a.name)
+        elif isinstance(s, (SBreak, SContinue, SReturn)):
+            pass
+        else:
+            raise AnalysisError(f"driver cannot handle {s!r}")
+
+    # -- statements -------------------------------------------------------------
+    def _assign(self, s: SAssign, env: PropertyEnv) -> None:
+        value = self._eval_static(s.value, env)
+        if isinstance(s.target, IVar):
+            name = s.target.name
+            if value.is_unknown:
+                env.kill_scalar(name)
+            else:
+                env.set_scalar(name, value)
+            return
+        assert isinstance(s.target, IArrayRef)
+        arr = s.target.array
+        env.kill_array(arr)
+        if len(s.target.indices) == 1:
+            idx = self._eval_static(s.target.indices[0], env)
+            if idx.is_point and not value.is_unknown:
+                env.set_point(arr, idx.lo, value)
+
+    def _if(self, s: SIf, env: PropertyEnv) -> None:
+        # flow-insensitive approximation at statement level: both branches
+        # may execute; kill what either writes, keep facts neither touches
+        for block in (s.then, s.other):
+            self._havoc(block, env, analyze_loops=True)
+
+    def _havoc(self, stmts: list[Stmt], env: PropertyEnv, analyze_loops: bool = False) -> None:
+        from repro.analysis.phase1 import _modified_scalars
+
+        for name in _modified_scalars(stmts, {}):
+            env.kill_scalar(name)
+        for arr in _written_arrays(stmts):
+            env.kill_array(arr)
+        if analyze_loops:
+            # still record env snapshots for nested loops so they can be
+            # dependence-tested (facts are post-kill, hence sound)
+            def visit(ss: list[Stmt]) -> None:
+                for st in ss:
+                    if isinstance(st, SLoop):
+                        self._summarize_nest(st, env.snapshot())
+                    for b in st.blocks():
+                        visit(b)
+
+            visit(stmts)
+
+    # -- loops ------------------------------------------------------------------------
+    def _loop(self, loop: SLoop, env: PropertyEnv) -> None:
+        summary = self._summarize_nest(loop, env.snapshot())
+        # collapse: apply the summary to the walking environment
+        for arr in summary.written_arrays | summary.bottom_arrays:
+            env.kill_array(arr)
+        for name in summary.bottom_scalars:
+            env.kill_scalar(name)
+        for name, post in summary.scalar_post.items():
+            resolved = self._resolve_post(name, post, env)
+            if resolved is None or resolved.is_unknown:
+                env.kill_scalar(name)
+            else:
+                env.set_scalar(name, resolved)
+        for arr, fact in summary.array_facts.items():
+            self._record_fact(arr, fact, summary, env)
+
+    def _summarize_nest(self, loop: SLoop, env_here: PropertyEnv) -> LoopSummary:
+        """Summarize ``loop`` (and, recursively, its inner loops) given the
+        environment at the loop's entry point."""
+        self.result.env_before[loop.label] = env_here.snapshot()
+        # inner loops see the entry environment minus anything the outer
+        # body writes (sound w.r.t. re-entry on later outer iterations)
+        inner_env = env_here.snapshot()
+        from repro.analysis.phase1 import _modified_scalars
+
+        for name in _modified_scalars(loop.body, {}):
+            inner_env.kill_scalar(name)
+        for arr in _written_arrays(loop.body):
+            inner_env.kill_array(arr)
+        collapsed: dict[int, LoopSummary] = {}
+
+        def summarize_inner(stmts: list[Stmt]) -> None:
+            for s in stmts:
+                if isinstance(s, SLoop):
+                    collapsed[id(s)] = self._summarize_nest(s, inner_env.snapshot())
+                elif isinstance(s, SWhile):
+                    continue  # opaque; Phase 1 havocs it
+                else:
+                    for b in s.blocks():
+                        summarize_inner(b)
+
+        summarize_inner(loop.body)
+        effect = Phase1Analyzer(self.func, env_here, collapsed).run(loop)
+        self.result.effects[loop.label] = effect
+        self.result.phase_order.append((1, loop.label))
+        summary = aggregate(loop, effect, env_here)
+        self.result.summaries[loop.label] = summary
+        self.result.phase_order.append((2, loop.label))
+        return summary
+
+    # -- fact recording -------------------------------------------------------------
+    def _record_fact(
+        self, arr: str, fact: SectionFact, summary: LoopSummary, env: PropertyEnv
+    ) -> None:
+        if not fact.must and not fact.subset_guards:
+            return  # a may-write with no usable guard: nothing sound to keep
+        value_range = fact.value_range if fact.must else None
+        env.set_record(
+            ArrayRecord(
+                array=arr,
+                section=fact.section,
+                props=fact.props,
+                value_range=value_range,
+                subset_guards=self._elem_guards(fact, summary),
+                source=summary.loop_label,
+            )
+        )
+
+    @staticmethod
+    def _elem_guards(fact: SectionFact, summary: LoopSummary) -> tuple:
+        """Re-express update guards (over the defining loop's variable) as
+        subset predicates over the element index placeholder ``ELEM``."""
+        if not fact.subset_guards:
+            return ()
+        if fact.written_offset is None:
+            return fact.subset_guards
+        from repro.analysis.env import ELEM
+        from repro.ir.symx import CondAtom
+        from repro.symbolic.expr import loopvar, sub as ssub
+
+        lv = loopvar(summary.loop_var)
+        repl = ssub(ELEM, fact.written_offset)
+
+        def fn(atom):
+            return repl if atom == lv else None
+
+        out = []
+        for g in fact.subset_guards:
+            lhs = g.lhs.subst(fn)
+            rhs = g.rhs.subst(fn)
+            if lhs.is_bottom or rhs.is_bottom:
+                return ()
+            # guards mentioning iteration-local state cannot be lifted
+            from repro.symbolic.expr import SymKind as _K
+
+            if any(s.kind is _K.ITER0 for s in lhs.free_syms() | rhs.free_syms()):
+                return ()
+            out.append(CondAtom(g.op, lhs, rhs))
+        return tuple(out)
+
+    def _resolve_post(self, name: str, post: SymRange, env: PropertyEnv) -> SymRange | None:
+        mapping: dict[Atom, SymRange] = {}
+        for ep in (post.lo, post.hi):
+            if ep.is_infinite or ep.is_bottom:
+                continue
+            for atom in ep.atoms():
+                if isinstance(atom, Sym) and atom.kind is SymKind.LOOP0:
+                    cur = env.scalar_range(atom.name)
+                    if cur is None:
+                        return None
+                    mapping[atom] = cur
+                elif isinstance(atom, Sym) and atom.kind is SymKind.VAR:
+                    cur = env.scalar_range(atom.name)
+                    if cur is not None:
+                        mapping[atom] = cur
+        return range_subst_range(post, mapping)
+
+    # -- static expression evaluation --------------------------------------------------
+    def _eval_static(self, e, env: PropertyEnv) -> SymRange:  # noqa: ANN001
+        sym = ir_to_sym(e)
+        if sym.is_bottom:
+            return UNKNOWN_RANGE
+        mapping: dict[Atom, SymRange] = {}
+        for atom in sym.atoms():
+            if isinstance(atom, Sym) and atom.kind is _SK.VAR:
+                cur = env.scalar_range(atom.name)
+                if cur is not None:
+                    mapping[atom] = cur
+            else:
+                from repro.symbolic.expr import ArrayTerm
+
+                if isinstance(atom, ArrayTerm):
+                    pt = env.points.get((atom.array, atom.index))
+                    if pt is not None:
+                        mapping[atom] = pt
+        return range_subst_range(SymRange.point(sym), mapping)
+
+
+# --------------------------------------------------------------------------
+# Section 3.5-style trace rendering
+# --------------------------------------------------------------------------
+
+
+def render_trace(result: AnalysisResult, variables: list[str] | None = None) -> str:
+    """Render the analysis in the paper's Section 3.5 format::
+
+        Phase 1 (L1.1): count : [λ(count) : λ(count) + 1]; column_number : ⊥
+        Phase 2 (L1.1): count : [Λ(count) : Λ(count) + COLUMNLEN]
+    """
+    lines: list[str] = []
+    for phase, label in result.phase_order:
+        if phase == 1:
+            effect = result.effects[label]
+            parts: list[str] = []
+            for name in sorted(effect.scalars):
+                if variables is not None and name not in variables:
+                    continue
+                if name in effect.bottom_scalars:
+                    parts.append(f"{name} : ⊥")
+                else:
+                    parts.append(f"{name} : {effect.scalars[name]}")
+            for arr in sorted(effect.updates):
+                if variables is not None and arr not in variables:
+                    continue
+                descr = "; ".join(str(u) for u in effect.updates[arr])
+                parts.append(f"{arr} : {descr}")
+            for arr in sorted(effect.bottom_arrays):
+                if variables is not None and arr not in variables:
+                    continue
+                parts.append(f"{arr} : ⊥")
+            lines.append(f"Phase 1 ({label}): " + "; ".join(parts))
+        else:
+            summary = result.summaries[label]
+            parts = []
+            for name in sorted(summary.scalar_post):
+                if variables is not None and name not in variables:
+                    continue
+                parts.append(f"{name} : {summary.scalar_post[name]}")
+            for name in sorted(summary.bottom_scalars):
+                if variables is not None and name not in variables:
+                    continue
+                parts.append(f"{name} : ⊥")
+            for arr in sorted(summary.array_facts):
+                if variables is not None and arr not in variables:
+                    continue
+                fact = summary.array_facts[arr]
+                from repro.analysis.properties import describe
+
+                bits = [str(fact.section)]
+                if fact.props:
+                    bits.append(describe(fact.props))
+                elif fact.value_range is not None:
+                    bits.append(str(fact.value_range))
+                parts.append(f"{arr} : " + ", ".join(bits))
+            for arr in sorted(summary.bottom_arrays):
+                if variables is not None and arr not in variables:
+                    continue
+                parts.append(f"{arr} : ⊥")
+            lines.append(f"Phase 2 ({label}): " + "; ".join(parts))
+    return "\n".join(lines)

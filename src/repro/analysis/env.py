@@ -1,0 +1,152 @@
+"""Flow-sensitive property environment.
+
+As the driver walks a function in program order it accumulates, per
+array, the facts established so far (the output of Phase 2 plus direct
+point assignments such as ``rowptr[0] = 0``), and per integer scalar the
+currently known value range.  A write to an array kills its record unless
+the write *is* the summarized defining pattern.
+
+The environment also lowers itself into the prover-level
+:class:`~repro.symbolic.facts.FactEnv` so dependence tests can reason
+with the derived properties.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.analysis.properties import Prop, closure, describe
+from repro.ir.symx import CondAtom
+from repro.symbolic.expr import Expr, Sym, fresh, var
+from repro.symbolic.facts import ArrayFact, FactEnv, MonoDir
+from repro.symbolic.ranges import SymRange
+
+#: Placeholder for "the element's index" in subset predicates: a record
+#: with ``subset_guards = (jmatch[ELEM] >= 0,)`` states that the property
+#: holds on the subset of elements ``x`` with ``jmatch[x] >= 0``.
+ELEM = fresh("__elem")
+
+
+@dataclass
+class ArrayRecord:
+    """Everything the analysis knows about one array at a program point.
+
+    ``section`` is the *must* index range over which ``props`` and
+    ``value_range`` hold.  ``subset_guards`` restrict the properties to
+    the elements satisfying the guard predicates (the paper's
+    "injective/monotonic subset" patterns, Section 2 item 3).
+    """
+
+    array: str
+    section: SymRange | None = None
+    props: frozenset[Prop] = frozenset()
+    value_range: SymRange | None = None
+    subset_guards: tuple[CondAtom, ...] = ()
+    source: str = ""  # loop label / statement that established the record
+
+    def has(self, p: Prop) -> bool:
+        return p in closure(self.props)
+
+    def describe(self) -> str:
+        parts = []
+        if self.section is not None:
+            parts.append(str(self.section))
+        if self.props:
+            parts.append(describe(self.props))
+        if self.value_range is not None:
+            parts.append(f"values {self.value_range}")
+        if self.subset_guards:
+            parts.append("subset: " + " && ".join(map(str, self.subset_guards)))
+        return f"{self.array}: " + ", ".join(parts) if parts else f"{self.array}: (no facts)"
+
+
+@dataclass
+class PropertyEnv:
+    """Per-program-point analysis state."""
+
+    records: dict[str, ArrayRecord] = field(default_factory=dict)
+    # known point values of specific array elements, e.g. rowptr[0] = [0:0]
+    points: dict[tuple[str, Expr], SymRange] = field(default_factory=dict)
+    # known scalar value ranges at this program point
+    scalars: dict[str, SymRange] = field(default_factory=dict)
+    # symbolic parameters assumed non-negative (problem sizes)
+    param_ranges: dict[Sym, SymRange] = field(default_factory=dict)
+    # asserted monotonic combinations of arrays (Section 2 item 2c)
+    composites: list = field(default_factory=list)
+
+    # -- updates ---------------------------------------------------------------
+    def set_record(self, rec: ArrayRecord) -> None:
+        self.records[rec.array] = rec
+
+    def record(self, array: str) -> ArrayRecord | None:
+        return self.records.get(array)
+
+    def kill_array(self, array: str) -> None:
+        self.records.pop(array, None)
+        for key in [k for k in self.points if k[0] == array]:
+            del self.points[key]
+        self.composites = [
+            c for c in self.composites if all(a != array for _, a, _ in c.terms)
+        ]
+
+    def set_point(self, array: str, index: Expr, value: SymRange) -> None:
+        self.points[(array, index)] = value
+
+    def set_scalar(self, name: str, value: SymRange) -> None:
+        self.scalars[name] = value
+
+    def kill_scalar(self, name: str) -> None:
+        self.scalars.pop(name, None)
+
+    def snapshot(self) -> "PropertyEnv":
+        return copy.deepcopy(self)
+
+    # -- queries ------------------------------------------------------------------
+    def scalar_range(self, name: str) -> SymRange | None:
+        return self.scalars.get(name)
+
+    def array_value_range(self, array: str) -> SymRange | None:
+        rec = self.records.get(array)
+        return rec.value_range if rec is not None else None
+
+    # -- lowering to prover facts ----------------------------------------------------
+    def to_facts(self) -> FactEnv:
+        facts = FactEnv()
+        for comp in self.composites:
+            facts.add_composite(comp)
+        for sym, rng in self.param_ranges.items():
+            facts.set_sym_range(sym, rng)
+        for name, rng in self.scalars.items():
+            facts.set_sym_range(var(name), rng)
+        for rec in self.records.values():
+            mono: MonoDir | None = None
+            c = closure(rec.props)
+            if Prop.STRICT_INC in c:
+                mono = MonoDir.STRICT_INC
+            elif Prop.STRICT_DEC in c:
+                mono = MonoDir.STRICT_DEC
+            elif Prop.MONO_INC in c:
+                mono = MonoDir.INC
+            elif Prop.MONO_DEC in c:
+                mono = MonoDir.DEC
+            if rec.subset_guards:
+                # subset-restricted facts are not sound as whole-array
+                # prover facts; the extended test handles them specially
+                continue
+            facts.set_array_fact(
+                rec.array,
+                ArrayFact(
+                    mono=mono,
+                    value_range=rec.value_range,
+                    identity=Prop.IDENTITY in c,
+                    section=rec.section,
+                ),
+            )
+        return facts
+
+    def describe(self) -> str:
+        lines = [rec.describe() for rec in self.records.values()]
+        for (arr, idx), val in self.points.items():
+            lines.append(f"{arr}[{idx}] = {val}")
+        return "\n".join(lines) if lines else "(empty)"

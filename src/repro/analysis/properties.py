@@ -1,0 +1,80 @@
+"""The index-array property lattice (Section 2 of the paper).
+
+Properties of interest and their implication order::
+
+    IDENTITY  ⟹  STRICT_INC
+    STRICT_INC ⟹ MONO_INC, INJECTIVE
+    STRICT_DEC ⟹ MONO_DEC, INJECTIVE
+
+``closure`` saturates a property set under these implications; ``join``
+(control-flow merge) keeps what both sides guarantee, ``meet`` combines
+facts known simultaneously.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+
+class Prop(Enum):
+    IDENTITY = "Identity"
+    STRICT_INC = "Strict_monotonic_inc"
+    STRICT_DEC = "Strict_monotonic_dec"
+    MONO_INC = "Monotonic_inc"
+    MONO_DEC = "Monotonic_dec"
+    INJECTIVE = "Injective"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_IMPLIES: dict[Prop, frozenset[Prop]] = {
+    Prop.IDENTITY: frozenset({Prop.STRICT_INC}),
+    Prop.STRICT_INC: frozenset({Prop.MONO_INC, Prop.INJECTIVE}),
+    Prop.STRICT_DEC: frozenset({Prop.MONO_DEC, Prop.INJECTIVE}),
+    Prop.MONO_INC: frozenset(),
+    Prop.MONO_DEC: frozenset(),
+    Prop.INJECTIVE: frozenset(),
+}
+
+
+def closure(props: Iterable[Prop]) -> frozenset[Prop]:
+    """Saturate ``props`` under the implication relation."""
+    out: set[Prop] = set(props)
+    frontier = list(out)
+    while frontier:
+        p = frontier.pop()
+        for q in _IMPLIES[p]:
+            if q not in out:
+                out.add(q)
+                frontier.append(q)
+    return frozenset(out)
+
+
+def join(a: Iterable[Prop], b: Iterable[Prop]) -> frozenset[Prop]:
+    """Weakest common knowledge (control-flow merge)."""
+    return closure(a) & closure(b)
+
+
+def meet(a: Iterable[Prop], b: Iterable[Prop]) -> frozenset[Prop]:
+    """Combined simultaneous knowledge."""
+    return closure(set(a) | set(b))
+
+
+def is_monotonic(props: Iterable[Prop]) -> bool:
+    c = closure(props)
+    return Prop.MONO_INC in c or Prop.MONO_DEC in c
+
+
+def is_injective(props: Iterable[Prop]) -> bool:
+    return Prop.INJECTIVE in closure(props)
+
+
+def describe(props: Iterable[Prop]) -> str:
+    """Human-readable minimal description (drop implied properties)."""
+    c = closure(props)
+    minimal = {p for p in c if not any(p in _IMPLIES[q] or p in closure(_IMPLIES[q]) for q in c if q != p)}
+    if not minimal:
+        return "(none)"
+    return ", ".join(sorted(str(p) for p in minimal))

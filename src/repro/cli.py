@@ -1,0 +1,112 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
+    python -m repro analyze FILE.c [--vars a,b,c]
+    python -m repro figure1
+    python -m repro figure10
+
+``parallelize`` prints the OpenMP-annotated C (the paper's artifact);
+``analyze`` prints the Section-3.5-style trace; the ``figure*`` commands
+regenerate the paper's evaluation outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_parallelize(args: argparse.Namespace) -> int:
+    from repro.parallelizer import parallelize
+
+    out = parallelize(_read(args.file), method=args.method, function=args.function)
+    if args.plan:
+        print(out.plan.describe())
+        print()
+    print(out.annotated_c)
+    if args.trace:
+        from repro.analysis import render_trace
+
+        print()
+        print(render_trace(out.analysis))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_function, render_trace
+    from repro.ir import build_function
+
+    func = build_function(_read(args.file), args.function)
+    result = analyze_function(func)
+    variables = args.vars.split(",") if args.vars else None
+    print(render_trace(result, variables))
+    print()
+    print("facts at end of function:")
+    print(result.final_env.describe())
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.study import run_figure1
+
+    print(run_figure1().render())
+    return 0
+
+
+def cmd_figure10(args: argparse.Namespace) -> int:
+    from repro.evaluation import run_figure10, shape_checks
+
+    result = run_figure10()
+    print(result.render())
+    problems = shape_checks(result)
+    if problems:
+        print("shape violations:", "; ".join(problems))
+        return 1
+    print("all paper shape checks hold")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compile-time parallelization of subscripted subscript patterns",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("parallelize", help="emit OpenMP-annotated C")
+    p.add_argument("file")
+    p.add_argument("--method", default="extended", choices=["gcd", "banerjee", "range", "extended"])
+    p.add_argument("--function", default=None, help="function name (default: the only one)")
+    p.add_argument("--trace", action="store_true", help="also print the analysis trace")
+    p.add_argument("--plan", action="store_true", help="also print the loop plan")
+    p.set_defaults(fn=cmd_parallelize)
+
+    a = sub.add_parser("analyze", help="print the Section 3.5-style analysis trace")
+    a.add_argument("file")
+    a.add_argument("--function", default=None)
+    a.add_argument("--vars", default=None, help="comma-separated variable filter")
+    a.set_defaults(fn=cmd_analyze)
+
+    sub.add_parser("figure1", help="regenerate the Figure 1 study table").set_defaults(
+        fn=cmd_figure1
+    )
+    sub.add_parser("figure10", help="regenerate the Figure 10 speedup table").set_defaults(
+        fn=cmd_figure10
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Benchmark corpus: the paper's figure kernels (mini-C, with input
+generators, reference implementations and property assertions) and the
+Figure-1 suite registry."""
+
+from repro.corpus.figures import FIGURE_KERNELS, CorpusKernel
+from repro.corpus.suites import (
+    EXTRA_KERNELS,
+    SUITE_PROGRAMS,
+    SuiteProgram,
+    all_kernels,
+)
+
+__all__ = [
+    "CorpusKernel",
+    "EXTRA_KERNELS",
+    "FIGURE_KERNELS",
+    "SUITE_PROGRAMS",
+    "SuiteProgram",
+    "all_kernels",
+]

@@ -1,0 +1,37 @@
+"""Data-dependence testing: access collection, classic baselines (GCD,
+Banerjee, Range Test) and the paper's extended Range Test."""
+
+from repro.dependence.accesses import (
+    Access,
+    AccessSet,
+    IndirectIndex,
+    collect_accesses,
+)
+from repro.dependence.baselines import banerjee_test, gcd_test
+from repro.dependence.extended import (
+    ExtendedRangeTest,
+    LoopDependenceResult,
+    PairVerdict,
+)
+from repro.dependence.framework import (
+    METHODS,
+    MethodComparison,
+    compare_methods,
+    test_loop,
+)
+
+__all__ = [
+    "Access",
+    "AccessSet",
+    "ExtendedRangeTest",
+    "IndirectIndex",
+    "LoopDependenceResult",
+    "METHODS",
+    "MethodComparison",
+    "PairVerdict",
+    "banerjee_test",
+    "collect_accesses",
+    "compare_methods",
+    "gcd_test",
+    "test_loop",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch analysis failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """Raised by the mini-C lexer on malformed input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """Raised by the mini-C parser on a syntax error."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        loc = f"{line}:{col}: " if line else ""
+        super().__init__(f"{loc}{message}")
+        self.line = line
+        self.col = col
+
+
+class IRError(ReproError):
+    """Raised when AST -> IR construction encounters an unsupported form."""
+
+
+class SymbolicError(ReproError):
+    """Raised on invalid symbolic-expression construction or arithmetic."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the property analysis hits an internal inconsistency."""
+
+
+class InterpreterError(ReproError):
+    """Raised by the runtime interpreter (bad program state, OOB access)."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload/input generators on invalid parameters."""

@@ -1,0 +1,17 @@
+"""Evaluation harnesses: Figure 10 series and ablations."""
+
+from repro.evaluation.figure10 import (
+    CG_KERNELS,
+    Figure10Result,
+    THREADS,
+    run_figure10,
+    shape_checks,
+)
+
+__all__ = [
+    "CG_KERNELS",
+    "Figure10Result",
+    "THREADS",
+    "run_figure10",
+    "shape_checks",
+]

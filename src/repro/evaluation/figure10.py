@@ -1,0 +1,93 @@
+"""Figure 10 harness: CG speedups, Classes A/B/C × {2, 4, 6, 8} threads.
+
+Three series:
+
+1. **compiler verdict** — run the pipeline on the CG CSR kernels: the
+   baselines (gcd/banerjee/classic range) parallelize nothing (speedup
+   1.0, "essentially sequential"), the extended test parallelizes the
+   subscripted-subscript loops ("close to fully parallel");
+2. **modeled** — the Kaby Lake R cost model
+   (:mod:`repro.runtime.perf_model`), reproducing the paper's curve
+   *shapes*: Class A peaks at 6 threads with the 8-thread point only
+   slightly above 4 threads; Classes B and C peak at 8;
+3. **measured** (optional, slower) — real multiprocessing SpMV speedups
+   on the reproduction host via :mod:`repro.runtime.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus import all_kernels
+from repro.parallelizer import parallelize
+from repro.runtime.perf_model import MachineModel, ModeledPoint, figure10_model
+from repro.utils.tables import Table
+
+THREADS = (2, 4, 6, 8)
+
+
+@dataclass
+class Figure10Result:
+    modeled: dict[str, list[ModeledPoint]] = field(default_factory=dict)
+    baseline_parallel_loops: int = 0
+    extended_parallel_loops: int = 0
+    kernels_tested: int = 0
+
+    def speedups(self, cls: str) -> list[float]:
+        return [p.speedup for p in self.modeled[cls]]
+
+    def render(self) -> str:
+        t = Table(
+            ["class", *[f"{p} threads" for p in THREADS]],
+            title="Figure 10 — modeled CG speedup over sequential (paper machine model)",
+        )
+        for cls, points in self.modeled.items():
+            t.add_row(cls, *[f"{p.speedup:.2f}" for p in points])
+        lines = [t.render()]
+        lines.append(
+            f"compiler verdicts on CG kernels: extended test parallelizes "
+            f"{self.extended_parallel_loops}/{self.kernels_tested} target loops; "
+            f"baseline tests parallelize {self.baseline_parallel_loops}/{self.kernels_tested} "
+            f"(⇒ sequential execution, speedup 1.0)"
+        )
+        return "\n".join(lines)
+
+
+CG_KERNELS = ("fig3_cg_monotonic", "fig4_cg_monodiff", "fig9_csr_product")
+
+
+def run_figure10(machine: MachineModel | None = None) -> Figure10Result:
+    """Regenerate Figure 10 (modeled series + compiler verdicts)."""
+    result = Figure10Result(modeled=figure10_model(machine=machine))
+    kernels = all_kernels()
+    for name in CG_KERNELS:
+        k = kernels[name]
+        result.kernels_tested += 1
+        ext = parallelize(k.source, method="extended", assertions=k.assertion_env())
+        if k.target_loop in ext.parallel_loops:
+            result.extended_parallel_loops += 1
+        base = parallelize(k.source, method="range", assertions=k.assertion_env())
+        if k.target_loop in base.parallel_loops:
+            result.baseline_parallel_loops += 1
+    return result
+
+
+def shape_checks(result: Figure10Result) -> list[str]:
+    """The paper's qualitative claims about Figure 10; returns violations."""
+    problems: list[str] = []
+    a = result.speedups("A")
+    b = result.speedups("B")
+    c = result.speedups("C")
+    s2, s4, s6, s8 = range(4)
+    if not (a[s2] < a[s4] < a[s6]):
+        problems.append("Class A should rise through 6 threads")
+    if not (a[s4] < a[s8] < a[s6]):
+        problems.append("Class A at 8 threads should be only slightly above 4, below 6")
+    for name, s in (("B", b), ("C", c)):
+        if not (s[s2] < s[s4] < s[s6] < s[s8]):
+            problems.append(f"Class {name} should peak at 8 threads")
+    if not (3.0 <= max(b[s4], c[s4], a[s4]) <= 4.5):
+        problems.append("4-thread speedup should be near the paper's 3.8")
+    if result.extended_parallel_loops <= result.baseline_parallel_loops:
+        problems.append("extended test should beat the baselines")
+    return problems

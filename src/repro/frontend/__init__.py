@@ -1,0 +1,31 @@
+"""Mini-C frontend: lexer, parser, AST, and C pretty-printer."""
+
+from repro.frontend import c_ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import (
+    parse_expression,
+    parse_function,
+    parse_program,
+    parse_statements,
+)
+from repro.frontend.printer import (
+    expr_to_c,
+    print_function,
+    print_program,
+    print_statement,
+)
+from repro.frontend.source import Loc
+
+__all__ = [
+    "Loc",
+    "c_ast",
+    "expr_to_c",
+    "parse_expression",
+    "parse_function",
+    "parse_program",
+    "parse_statements",
+    "print_function",
+    "print_program",
+    "print_statement",
+    "tokenize",
+]

@@ -1,0 +1,153 @@
+"""Pretty-printer: mini-C AST back to compilable C text.
+
+Round-tripping matters because the parallelizer's output is *annotated C*
+(the input program with ``#pragma omp parallel for`` lines inserted), the
+same artifact the paper produces by hand.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import c_ast as A
+
+_INDENT = "    "
+
+
+def print_program(prog: A.Program) -> str:
+    parts: list[str] = []
+    for g in prog.globals:
+        parts.append(_decl_to_c(g, 0))
+    if prog.globals:
+        parts.append("")
+    for f in prog.functions:
+        parts.append(print_function(f))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def print_function(func: A.FuncDef) -> str:
+    params = ", ".join(_param_to_c(p) for p in func.params)
+    header = f"{func.return_type} {func.name}({params or 'void'})"
+    return header + " " + _stmt_to_c(func.body, 0).lstrip()
+
+
+def print_statement(stmt: A.Statement, indent: int = 0) -> str:
+    return _stmt_to_c(stmt, indent)
+
+
+def expr_to_c(e: A.Expression) -> str:
+    """Render an expression with minimal parentheses."""
+    return _expr(e, 0)
+
+
+# precedence levels for minimal parenthesization (mirror parser)
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def _expr(e: A.Expression, parent_prec: int) -> str:
+    if isinstance(e, A.IntLit):
+        return str(e.value)
+    if isinstance(e, A.FloatLit):
+        return repr(e.value)
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.ArrayRef):
+        return f"{_expr(e.base, _POSTFIX_PREC)}[{_expr(e.index, 0)}]"
+    if isinstance(e, A.Call):
+        if e.name == "__literal__":
+            return e.args[0].name  # type: ignore[union-attr]
+        if e.name == "__deref__":
+            return f"*{_expr(e.args[0], _UNARY_PREC)}"
+        if e.name == "__addr__":
+            return f"&{_expr(e.args[0], _UNARY_PREC)}"
+        return f"{e.name}({', '.join(_expr(a, 0) for a in e.args)})"
+    if isinstance(e, A.UnaryOp):
+        if e.postfix:
+            return f"{_expr(e.operand, _POSTFIX_PREC)}{e.op}"
+        return f"{e.op}{_expr(e.operand, _UNARY_PREC)}"
+    if isinstance(e, A.BinOp):
+        prec = _PREC[e.op]
+        text = f"{_expr(e.left, prec)} {e.op} {_expr(e.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, A.Cond):
+        text = f"{_expr(e.cond, 1)} ? {_expr(e.then, 0)} : {_expr(e.other, 0)}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(e, A.Assign):
+        text = f"{_expr(e.target, _UNARY_PREC)} {e.op} {_expr(e.value, 0)}"
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"unprintable expression: {e!r}")
+
+
+def _param_to_c(p: A.Param) -> str:
+    dims = "".join(f"[{_expr(d, 0) if d is not None else ''}]" for d in p.dims)
+    return f"{p.type_name} {p.name}{dims}"
+
+
+def _decl_to_c(d: A.DeclStmt, level: int) -> str:
+    pieces = []
+    for dec in d.declarators:
+        text = dec.name + "".join(
+            f"[{_expr(dim, 0) if dim is not None else ''}]" for dim in dec.dims
+        )
+        if dec.init is not None:
+            text += f" = {_expr(dec.init, 0)}"
+        pieces.append(text)
+    return f"{_INDENT * level}{d.type_name} {', '.join(pieces)};"
+
+
+def _stmt_to_c(s: A.Statement, level: int) -> str:
+    pad = _INDENT * level
+    if isinstance(s, A.Block):
+        if not s.stmts:
+            return pad + "{\n" + pad + "}"
+        inner = "\n".join(_stmt_to_c(st, level + 1) for st in s.stmts)
+        return pad + "{\n" + inner + "\n" + pad + "}"
+    if isinstance(s, A.DeclStmt):
+        return _decl_to_c(s, level)
+    if isinstance(s, A.ExprStmt):
+        return f"{pad}{_expr(s.expr, 0)};"
+    if isinstance(s, A.If):
+        text = f"{pad}if ({_expr(s.cond, 0)}) " + _stmt_to_c(_ensure_block(s.then), level).lstrip()
+        if s.other is not None:
+            text += " else " + _stmt_to_c(_ensure_block(s.other), level).lstrip()
+        return text
+    if isinstance(s, A.For):
+        init = ""
+        if isinstance(s.init, A.ExprStmt):
+            init = _expr(s.init.expr, 0)
+        elif isinstance(s.init, A.DeclStmt):
+            init = _decl_to_c(s.init, 0).strip().rstrip(";")
+        cond = _expr(s.cond, 0) if s.cond is not None else ""
+        step = _expr(s.step, 0) if s.step is not None else ""
+        lines = [f"{pad}#pragma {p}" for p in s.pragmas]
+        lines.append(
+            f"{pad}for ({init}; {cond}; {step}) "
+            + _stmt_to_c(_ensure_block(s.body), level).lstrip()
+        )
+        return "\n".join(lines)
+    if isinstance(s, A.While):
+        lines = [f"{pad}#pragma {p}" for p in s.pragmas]
+        lines.append(
+            f"{pad}while ({_expr(s.cond, 0)}) " + _stmt_to_c(_ensure_block(s.body), level).lstrip()
+        )
+        return "\n".join(lines)
+    if isinstance(s, A.Return):
+        return f"{pad}return {_expr(s.value, 0)};" if s.value is not None else f"{pad}return;"
+    if isinstance(s, A.Break):
+        return f"{pad}break;"
+    if isinstance(s, A.Continue):
+        return f"{pad}continue;"
+    if isinstance(s, A.Pragma):
+        return f"{pad}#pragma {s.text}"
+    raise TypeError(f"unprintable statement: {s!r}")
+
+
+def _ensure_block(s: A.Statement) -> A.Block:
+    if isinstance(s, A.Block):
+        return s
+    return A.Block((s,), getattr(s, "loc", None) or A.Loc.none())  # type: ignore[attr-defined]

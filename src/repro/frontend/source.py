@@ -1,0 +1,23 @@
+"""Source locations for diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Loc:
+    """A (line, column) position, both 1-based. ``Loc.none()`` for synthetic nodes."""
+
+    line: int
+    col: int
+
+    @staticmethod
+    def none() -> "Loc":
+        return _NONE
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+_NONE = Loc(0, 0)

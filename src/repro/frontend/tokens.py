@@ -1,0 +1,117 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.frontend.source import Loc
+
+
+class TokKind(Enum):
+    IDENT = "ident"
+    INT = "int_lit"
+    FLOAT = "float_lit"
+    STRING = "string_lit"
+    CHAR = "char_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "char",
+        "float",
+        "double",
+        "void",
+        "const",
+        "static",
+        "struct",
+        "for",
+        "while",
+        "do",
+        "if",
+        "else",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+    }
+)
+
+# Multi-character operators first (longest match wins).
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "...",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+TYPE_KEYWORDS = frozenset(
+    {"int", "long", "short", "unsigned", "signed", "char", "float", "double", "void", "const", "static"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokKind
+    text: str
+    loc: Loc
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.loc}"

@@ -1,0 +1,62 @@
+"""Loop IR: nodes, builder (AST lowering), symbol tables, printers, and the
+IR → symbolic bridge."""
+
+from repro.ir.builder import build_function, build_program
+from repro.ir.nodes import (
+    IArrayRef,
+    IBin,
+    ICall,
+    IConst,
+    IExpr,
+    IFloat,
+    IRFunction,
+    IRProgram,
+    IUn,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.ir.printer import block_to_c, expr_to_c, function_to_c, stmt_to_c
+from repro.ir.symtab import ElemType, SymbolTable, VarInfo
+from repro.ir.symx import CondAtom, cond_to_atoms, ir_to_sym
+
+__all__ = [
+    "CondAtom",
+    "ElemType",
+    "IArrayRef",
+    "IBin",
+    "ICall",
+    "IConst",
+    "IExpr",
+    "IFloat",
+    "IRFunction",
+    "IRProgram",
+    "IUn",
+    "IVar",
+    "SAssign",
+    "SBreak",
+    "SCall",
+    "SContinue",
+    "SIf",
+    "SLoop",
+    "SReturn",
+    "SWhile",
+    "Stmt",
+    "SymbolTable",
+    "VarInfo",
+    "block_to_c",
+    "build_function",
+    "build_program",
+    "cond_to_atoms",
+    "expr_to_c",
+    "function_to_c",
+    "ir_to_sym",
+    "stmt_to_c",
+]

@@ -1,0 +1,113 @@
+"""Bridge from IR expressions to the symbolic algebra.
+
+Arithmetic IR expressions become canonical symbolic expressions; anything
+the analysis cannot represent (calls, floats, multi-dimensional array
+values) becomes ⊥, exactly as the paper prescribes for "too complex to
+represent".  Comparison/logical expressions are converted separately into
+:class:`CondAtom` constraints for conditional range refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.nodes import IArrayRef, IBin, ICall, IConst, IExpr, IFloat, IUn, IVar
+from repro.symbolic.expr import (
+    BOTTOM,
+    Expr,
+    add,
+    array_term,
+    const,
+    intdiv,
+    mod,
+    mul,
+    neg,
+    sub,
+    var,
+)
+
+_CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def ir_to_sym(e: IExpr) -> Expr:
+    """Convert an arithmetic IR expression to a symbolic expression (⊥ for
+    unrepresentable forms)."""
+    if isinstance(e, IConst):
+        return const(e.value)
+    if isinstance(e, IFloat):
+        return BOTTOM
+    if isinstance(e, IVar):
+        return var(e.name)
+    if isinstance(e, IArrayRef):
+        if len(e.indices) != 1:
+            return BOTTOM
+        idx = ir_to_sym(e.indices[0])
+        if idx.is_bottom:
+            return BOTTOM
+        return array_term(e.array, idx)
+    if isinstance(e, IUn):
+        if e.op == "-":
+            return neg(ir_to_sym(e.operand))
+        return BOTTOM  # logical not has no arithmetic value here
+    if isinstance(e, IBin):
+        if e.op in _CMP or e.op in ("&&", "||"):
+            return BOTTOM  # boolean-valued; handled by conditions
+        left = ir_to_sym(e.left)
+        right = ir_to_sym(e.right)
+        if e.op == "+":
+            return add(left, right)
+        if e.op == "-":
+            return sub(left, right)
+        if e.op == "*":
+            return mul(left, right)
+        if e.op == "/":
+            return intdiv(left, right)
+        if e.op == "%":
+            return mod(left, right)
+        return BOTTOM
+    if isinstance(e, ICall):
+        return BOTTOM
+    return BOTTOM
+
+
+@dataclass(frozen=True, slots=True)
+class CondAtom:
+    """One comparison constraint ``lhs op rhs`` over symbolic expressions."""
+
+    op: str  # <, <=, >, >=, ==, !=
+    lhs: Expr
+    rhs: Expr
+
+    def negated(self) -> "CondAtom":
+        opposite = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+        return CondAtom(opposite[self.op], self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+def cond_to_atoms(e: IExpr) -> tuple[list[CondAtom], bool]:
+    """Decompose a condition into a *conjunction* of comparison atoms.
+
+    Returns ``(atoms, exact)``; ``exact`` is False when parts of the
+    condition could not be captured (disjunctions, calls, ...), in which
+    case the atoms returned are still *implied by* the condition — safe
+    for refinement of the true-branch, but the else-branch must then not
+    assume the negation.
+    """
+    if isinstance(e, IBin) and e.op == "&&":
+        left, lex = cond_to_atoms(e.left)
+        right, rex = cond_to_atoms(e.right)
+        return left + right, lex and rex
+    if isinstance(e, IBin) and e.op in _CMP:
+        lhs = ir_to_sym(e.left)
+        rhs = ir_to_sym(e.right)
+        if lhs.is_bottom or rhs.is_bottom:
+            return [], False
+        return [CondAtom(e.op, lhs, rhs)], True
+    if isinstance(e, IUn) and e.op == "!":
+        inner, exact = cond_to_atoms(e.operand)
+        if exact and len(inner) == 1:
+            return [inner[0].negated()], True
+        return [], False
+    return [], False

@@ -1,0 +1,29 @@
+"""Automatic parallelization pass: scalar privatization, reduction
+recognition, loop planning, and annotated-C emission."""
+
+from repro.parallelizer.pipeline import ParallelizeOutput, parallelize
+from repro.parallelizer.planner import (
+    LoopPlan,
+    ParallelizationPlan,
+    plan_function,
+    plan_loop,
+)
+from repro.parallelizer.privatization import (
+    PrivatizationResult,
+    ScalarClass,
+    ScalarInfo,
+    analyze_scalars,
+)
+
+__all__ = [
+    "LoopPlan",
+    "ParallelizationPlan",
+    "ParallelizeOutput",
+    "PrivatizationResult",
+    "ScalarClass",
+    "ScalarInfo",
+    "analyze_scalars",
+    "parallelize",
+    "plan_function",
+    "plan_loop",
+]

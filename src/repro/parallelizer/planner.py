@@ -1,0 +1,145 @@
+"""The parallelization pass.
+
+For each loop (outermost first — an already-parallel outer loop is the
+paper's goal, inner parallelism is not pursued further), combine
+
+* the array verdict of the chosen dependence test, and
+* the scalar verdict of privatization/reduction analysis,
+
+into a :class:`LoopPlan`.  Plans that succeed annotate the IR loop with
+an ``omp parallel for`` pragma carrying the private/reduction clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import AnalysisResult, PropertyEnv, analyze_function
+from repro.dependence import LoopDependenceResult, test_loop
+from repro.ir.nodes import IRFunction, SLoop, Stmt
+from repro.parallelizer.privatization import PrivatizationResult, analyze_scalars
+
+
+@dataclass
+class LoopPlan:
+    label: str
+    parallel: bool
+    reason: str
+    dependence: LoopDependenceResult | None = None
+    scalars: PrivatizationResult | None = None
+    pragma: str | None = None
+
+    def describe(self) -> str:
+        head = f"{self.label}: {'PARALLEL' if self.parallel else 'serial'} — {self.reason}"
+        if self.pragma:
+            head += f"\n  #pragma {self.pragma}"
+        return head
+
+
+@dataclass
+class ParallelizationPlan:
+    function: str
+    method: str
+    loops: dict[str, LoopPlan] = field(default_factory=dict)
+
+    @property
+    def parallel_loops(self) -> list[str]:
+        return [l for l, p in self.loops.items() if p.parallel]
+
+    def describe(self) -> str:
+        lines = [f"parallelization plan for {self.function} ({self.method}):"]
+        lines += ["  " + p.describe().replace("\n", "\n  ") for p in self.loops.values()]
+        return "\n".join(lines)
+
+
+def plan_function(
+    func: IRFunction,
+    analysis: AnalysisResult | None = None,
+    method: str = "extended",
+    initial_env: PropertyEnv | None = None,
+    annotate: bool = True,
+    nested: bool = False,
+) -> ParallelizationPlan:
+    """Plan (and by default annotate) parallelization of every loop nest.
+
+    ``nested=False`` (default) stops descending once a loop is parallel.
+    """
+    result = analysis if analysis is not None else analyze_function(func, initial_env)
+    plan = ParallelizationPlan(function=func.name, method=method)
+
+    def visit_loops(stmts: list[Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, SLoop):
+                loop_plan = plan_loop(func, s, result, method)
+                plan.loops[s.label] = loop_plan
+                if loop_plan.parallel and annotate:
+                    _annotate(s, loop_plan)
+                if not loop_plan.parallel or nested:
+                    visit_loops(s.body)
+            else:
+                for b in s.blocks():
+                    visit_loops(b)
+
+    visit_loops(func.body)
+    return plan
+
+
+def plan_loop(
+    func: IRFunction,
+    loop: SLoop,
+    analysis: AnalysisResult,
+    method: str = "extended",
+) -> LoopPlan:
+    """Decide parallelizability of a single loop."""
+    env = analysis.env_before.get(loop.label, analysis.final_env)
+    scalars = analyze_scalars(loop.body, loop.var, func.symtab)
+    if not scalars.ok:
+        return LoopPlan(
+            label=loop.label,
+            parallel=False,
+            reason=f"loop-carried scalar(s): {', '.join(scalars.carried)}",
+            scalars=scalars,
+        )
+    dep = test_loop(func, loop, env, method)
+    if not dep.parallel:
+        failing = dep.failed_pairs()
+        why = failing[0].reason if failing else "dependence not refuted"
+        arrays = sorted({p.a.array for p in failing})
+        return LoopPlan(
+            label=loop.label,
+            parallel=False,
+            reason=f"array dependence on {', '.join(arrays)}: {why}",
+            dependence=dep,
+            scalars=scalars,
+        )
+    pragma = _pragma_text(scalars)
+    return LoopPlan(
+        label=loop.label,
+        parallel=True,
+        reason=_success_reason(dep),
+        dependence=dep,
+        scalars=scalars,
+        pragma=pragma,
+    )
+
+
+def _success_reason(dep: LoopDependenceResult) -> str:
+    reasons = {p.reason for p in dep.pairs}
+    if not reasons:
+        return "no conflicting array accesses"
+    return "; ".join(sorted(reasons))
+
+
+def _pragma_text(scalars: PrivatizationResult) -> str:
+    parts = ["omp parallel for"]
+    if scalars.private:
+        parts.append(f"private({','.join(scalars.private)})")
+    for name, op in scalars.reductions:
+        parts.append(f"reduction({op}:{name})")
+    return " ".join(parts)
+
+
+def _annotate(loop: SLoop, plan: LoopPlan) -> None:
+    assert plan.pragma is not None
+    existing = tuple(p for p in loop.pragmas if not p.startswith("omp"))
+    loop.pragmas = existing + (plan.pragma,)

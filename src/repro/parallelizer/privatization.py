@@ -1,0 +1,228 @@
+"""Scalar privatization and reduction recognition.
+
+Before a loop can be declared parallel, every scalar it writes must be
+
+* the loop variable (becomes the parallel index),
+* **private** — written before read on every path through the body
+  (Tu & Padua's privatization criterion restricted to scalars, which is
+  all the paper's kernels need; ``j``, ``j1`` in Figure 9), or
+* a **reduction** — updated only through ``x = x ⊕ e`` with ``⊕`` in
+  {+, -, *, min, max} and not otherwise read.
+
+Everything else induces a loop-carried scalar dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.ir.nodes import (
+    IArrayRef,
+    IBin,
+    ICall,
+    IExpr,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.ir.symtab import SymbolTable
+
+
+class ScalarClass(Enum):
+    PRIVATE = "private"
+    REDUCTION = "reduction"
+    SHARED_READONLY = "shared"
+    CARRIED = "loop-carried"  # read-before-write and written: serializes
+
+
+@dataclass
+class ScalarInfo:
+    name: str
+    klass: ScalarClass
+    reduction_op: str | None = None
+
+
+@dataclass
+class PrivatizationResult:
+    loop_var: str
+    scalars: dict[str, ScalarInfo] = field(default_factory=dict)
+
+    @property
+    def private(self) -> list[str]:
+        return sorted(
+            n for n, s in self.scalars.items() if s.klass is ScalarClass.PRIVATE
+        )
+
+    @property
+    def reductions(self) -> list[tuple[str, str]]:
+        return sorted(
+            (n, s.reduction_op or "+")
+            for n, s in self.scalars.items()
+            if s.klass is ScalarClass.REDUCTION
+        )
+
+    @property
+    def carried(self) -> list[str]:
+        return sorted(
+            n for n, s in self.scalars.items() if s.klass is ScalarClass.CARRIED
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.carried
+
+
+# per-scalar dataflow state while scanning the body in order
+class _St(Enum):
+    UNSEEN = 0
+    WRITTEN_FIRST = 1  # first access on every path so far was a write
+    EXPOSED = 2  # some path reads before writing
+
+
+def analyze_scalars(body: list[Stmt], loop_var: str, symtab: SymbolTable) -> PrivatizationResult:
+    """Classify every scalar accessed by the loop body."""
+    scanner = _Scanner(loop_var, symtab)
+    state: dict[str, _St] = {}
+    scanner.block(body, state)
+    result = PrivatizationResult(loop_var=loop_var)
+    for name in sorted(scanner.written | scanner.read):
+        if name == loop_var:
+            continue
+        if name not in scanner.written:
+            result.scalars[name] = ScalarInfo(name, ScalarClass.SHARED_READONLY)
+            continue
+        st = state.get(name, _St.UNSEEN)
+        if st is _St.WRITTEN_FIRST:
+            result.scalars[name] = ScalarInfo(name, ScalarClass.PRIVATE)
+        elif name in scanner.reduction_candidates and name not in scanner.plain_reads:
+            result.scalars[name] = ScalarInfo(
+                name, ScalarClass.REDUCTION, scanner.reduction_candidates[name]
+            )
+        else:
+            result.scalars[name] = ScalarInfo(name, ScalarClass.CARRIED)
+    return result
+
+
+class _Scanner:
+    def __init__(self, loop_var: str, symtab: SymbolTable) -> None:
+        self.loop_var = loop_var
+        self.symtab = symtab
+        self.read: set[str] = set()
+        self.written: set[str] = set()
+        self.reduction_candidates: dict[str, str] = {}
+        self.non_reduction_use: set[str] = set()
+        self.plain_reads: set[str] = set()  # reads outside reduction updates
+
+    def block(self, stmts: list[Stmt], state: dict[str, _St]) -> None:
+        for s in stmts:
+            self.stmt(s, state)
+
+    def stmt(self, s: Stmt, state: dict[str, _St]) -> None:
+        if isinstance(s, SAssign):
+            red = self._reduction_shape(s)
+            if red is not None:
+                name, op = red
+                self.written.add(name)
+                self.read.add(name)
+                if name in self.reduction_candidates and self.reduction_candidates[name] != op:
+                    self.non_reduction_use.add(name)
+                else:
+                    self.reduction_candidates.setdefault(name, op)
+                # a reduction update leaves the read-before-write state as-is
+                self._reads(s.value, state, skip={name})
+                if isinstance(s.target, IArrayRef):
+                    for idx in s.target.indices:
+                        self._reads(idx, state)
+                return
+            self._reads(s.value, state)
+            if isinstance(s.target, IVar):
+                name = s.target.name
+                self.written.add(name)
+                if state.get(name, _St.UNSEEN) is _St.UNSEEN:
+                    state[name] = _St.WRITTEN_FIRST
+            else:
+                for idx in s.target.indices:
+                    self._reads(idx, state)
+        elif isinstance(s, SIf):
+            self._reads(s.cond, state)
+            st_then = dict(state)
+            st_else = dict(state)
+            self.block(s.then, st_then)
+            self.block(s.other, st_else)
+            for name in set(st_then) | set(st_else):
+                a = st_then.get(name, _St.UNSEEN)
+                b = st_else.get(name, _St.UNSEEN)
+                if a is _St.EXPOSED or b is _St.EXPOSED:
+                    state[name] = _St.EXPOSED
+                elif a is _St.WRITTEN_FIRST and b is _St.WRITTEN_FIRST:
+                    state[name] = _St.WRITTEN_FIRST
+                elif a is _St.WRITTEN_FIRST or b is _St.WRITTEN_FIRST:
+                    # written on one path only: a later read may see the old
+                    # value — treat as still unseen for first-access purposes
+                    state[name] = state.get(name, _St.UNSEEN)
+        elif isinstance(s, (SLoop, SWhile)):
+            if isinstance(s, SLoop):
+                self._reads(s.lb, state)
+                self._reads(s.ub, state)
+                self.written.add(s.var)
+                if state.get(s.var, _St.UNSEEN) is _St.UNSEEN:
+                    state[s.var] = _St.WRITTEN_FIRST
+            else:
+                self._reads(s.cond, state)
+            # the body may execute zero times: writes inside do not count
+            # as written-first; reads inside do count as exposed
+            inner = dict(state)
+            self.block(s.body, inner)
+            for name, st in inner.items():
+                if st is _St.EXPOSED:
+                    state[name] = _St.EXPOSED
+        elif isinstance(s, SCall):
+            for a in s.call.args:
+                self._reads(a, state)
+        elif isinstance(s, SReturn):
+            if s.value is not None:
+                self._reads(s.value, state)
+        elif isinstance(s, (SBreak, SContinue)):
+            pass
+
+    def _reads(self, e: IExpr, state: dict[str, _St], skip: set[str] = frozenset()) -> None:
+        for node in e.walk():
+            if isinstance(node, IVar):
+                name = node.name
+                if name == self.loop_var or name in skip:
+                    continue
+                if self.symtab.is_array(name):
+                    continue
+                self.read.add(name)
+                self.plain_reads.add(name)
+                if state.get(name, _St.UNSEEN) is _St.UNSEEN:
+                    state[name] = _St.EXPOSED
+
+    def _reduction_shape(self, s: SAssign) -> tuple[str, str] | None:
+        """Match ``x = x ⊕ e`` (after IR desugaring of ``x ⊕= e``)."""
+        if not isinstance(s.target, IVar):
+            return None
+        name = s.target.name
+        if name == self.loop_var:
+            return None
+        v = s.value
+        if isinstance(v, IBin) and v.op in ("+", "-", "*"):
+            left_is_x = isinstance(v.left, IVar) and v.left.name == name
+            right_is_x = isinstance(v.right, IVar) and v.right.name == name
+            if left_is_x and not self._mentions(v.right, name):
+                return name, v.op if v.op != "-" else "-"
+            if right_is_x and v.op in ("+", "*") and not self._mentions(v.left, name):
+                return name, v.op
+        return None
+
+    @staticmethod
+    def _mentions(e: IExpr, name: str) -> bool:
+        return any(isinstance(n, IVar) and n.name == name for n in e.walk())

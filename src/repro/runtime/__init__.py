@@ -1,0 +1,37 @@
+"""Runtime substrate: IR interpreter, dynamic independence oracle, the
+modeled machine (Figure 10), and the real parallel executor."""
+
+from repro.runtime.executor import (
+    MeasuredPoint,
+    MeasuredSeries,
+    measure_spmv_speedup,
+)
+from repro.runtime.interpreter import Interpreter, run_function
+from repro.runtime.oracle import Conflict, OracleReport, check_loop_independence
+from repro.runtime.perf_model import (
+    CgWork,
+    MachineModel,
+    ModeledPoint,
+    cg_time,
+    characterize,
+    figure10_model,
+    speedup_series,
+)
+
+__all__ = [
+    "CgWork",
+    "Conflict",
+    "Interpreter",
+    "MachineModel",
+    "MeasuredPoint",
+    "MeasuredSeries",
+    "ModeledPoint",
+    "OracleReport",
+    "cg_time",
+    "characterize",
+    "check_loop_independence",
+    "figure10_model",
+    "measure_spmv_speedup",
+    "run_function",
+    "speedup_series",
+]

@@ -1,0 +1,14 @@
+"""The Section-2 empirical study, automated: pattern scanner and the
+Figure 1 table generator."""
+
+from repro.study.figure1 import Figure1Result, ProgramRow, run_figure1
+from repro.study.scanner import PatternSite, ScanReport, scan_function
+
+__all__ = [
+    "Figure1Result",
+    "PatternSite",
+    "ProgramRow",
+    "ScanReport",
+    "run_figure1",
+    "scan_function",
+]

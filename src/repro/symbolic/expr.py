@@ -1,0 +1,777 @@
+"""Canonical symbolic integer expressions.
+
+The analysis of the paper (Section 3) manipulates symbolic values such as
+``λ + 1``, ``Λ + n*k``, ``rowptr[i-1] + [0 : COLUMNLEN-1]``.  This module
+provides the expression layer: immutable, canonicalized expressions over
+
+* named symbols (:class:`Sym`) with a *kind* distinguishing ordinary
+  variables, symbolic parameters, loop variables, and the paper's special
+  symbols λ (value of a variable at the start of the current iteration,
+  kind ``ITER0``) and Λ (value at loop entry, kind ``LOOP0``);
+* array-element atoms (:class:`ArrayTerm`), e.g. the symbolic value
+  ``rowptr[i-1]``;
+* opaque interpreted operators (:class:`OpaqueTerm`) for floor division,
+  modulo, min and max, which the canonicalizer treats as atoms;
+* the unknown value ⊥ (:data:`BOTTOM`) and the infinities used as range
+  endpoints.
+
+Every expression is normalized on construction into either a
+:class:`Const` or a :class:`Sum` of monomials with ``Fraction``
+coefficients, so structural equality coincides with algebraic equality for
+the linear fragment the paper's algorithm needs (plus products of atoms).
+
+Construction goes through the factory functions :func:`add`, :func:`sub`,
+:func:`mul`, :func:`neg`, :func:`intdiv`, :func:`mod`, :func:`smin`,
+:func:`smax`; the Python operators on :class:`Expr` delegate to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Callable, Iterable, Mapping, Sequence, Union
+
+from repro.errors import SymbolicError
+
+Number = Union[int, Fraction]
+
+
+class SymKind(Enum):
+    """Role of a named symbol inside the analysis."""
+
+    VAR = "var"  # ordinary program variable
+    PARAM = "param"  # symbolic constant (e.g. ROWLEN)
+    LOOPVAR = "loopvar"  # normalized loop index
+    ITER0 = "iter0"  # λ: value at start of the current iteration
+    LOOP0 = "loop0"  # Λ: value at loop entry
+    FRESH = "fresh"  # internal fresh symbol (e.g. iteration distance δ)
+
+
+# --------------------------------------------------------------------------
+# Expression node classes
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all symbolic expressions (immutable)."""
+
+    __slots__ = ()
+
+    # -- classification helpers -------------------------------------------
+    @property
+    def is_bottom(self) -> bool:
+        return isinstance(self, BottomExpr)
+
+    @property
+    def is_infinite(self) -> bool:
+        return isinstance(self, InfExpr)
+
+    @property
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+    def const_value(self) -> Fraction:
+        """Value of a :class:`Const`; raises otherwise."""
+        raise SymbolicError(f"not a constant: {self}")
+
+    # -- structure ----------------------------------------------------------
+    def atoms(self) -> frozenset["Atom"]:
+        """All atoms (syms, array terms, opaque terms) in the expression."""
+        return frozenset()
+
+    def free_syms(self) -> frozenset["Sym"]:
+        """All :class:`Sym` leaves, including those nested inside atoms."""
+        out: set[Sym] = set()
+        for a in self.atoms():
+            out.update(a.free_syms())
+        return frozenset(out)
+
+    def subst(self, fn: "SubstFn") -> "Expr":
+        """Rebuild the expression, replacing atoms via ``fn``.
+
+        ``fn`` receives each atom and returns a replacement :class:`Expr`
+        or ``None`` to keep the atom (its sub-expressions are still
+        rewritten recursively).
+        """
+        return self
+
+    def subst_map(self, mapping: Mapping["Atom", "Expr"]) -> "Expr":
+        """Substitute by dictionary lookup on atoms."""
+        return self.subst(lambda a: mapping.get(a))
+
+    def contains(self, atom: "Atom") -> bool:
+        return atom in self.atoms() or any(
+            atom in a.free_syms() for a in self.atoms() if isinstance(atom, Sym)
+        )
+
+    # -- ordering key (deterministic canonical order) -----------------------
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    # -- python arithmetic operators ----------------------------------------
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return add(self, other)
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return add(other, self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return sub(self, other)
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return sub(other, self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return mul(self, other)
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return mul(other, self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+
+ExprLike = Union[Expr, int, Fraction]
+
+
+class Atom(Expr):
+    """An expression the canonicalizer treats as indivisible."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """An integer (or exact rational) constant."""
+
+    value: Fraction
+
+    def const_value(self) -> Fraction:
+        return self.value
+
+    def _key(self) -> tuple:
+        return (0, float(self.value))
+
+    def __str__(self) -> str:
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"({self.value.numerator}/{self.value.denominator})"
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Atom):
+    """A named symbol with a :class:`SymKind` role."""
+
+    name: str
+    kind: SymKind = SymKind.VAR
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset({self})
+
+    def free_syms(self) -> frozenset["Sym"]:
+        return frozenset({self})
+
+    def subst(self, fn: "SubstFn") -> Expr:
+        rep = fn(self)
+        return rep if rep is not None else self
+
+    def _key(self) -> tuple:
+        return (1, self.kind.value, self.name)
+
+    def __str__(self) -> str:
+        if self.kind is SymKind.ITER0:
+            return f"λ({self.name})"
+        if self.kind is SymKind.LOOP0:
+            return f"Λ({self.name})"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Sym({self.name!r}, {self.kind.name})"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayTerm(Atom):
+    """The symbolic value of one array element, e.g. ``rowptr[i-1]``."""
+
+    array: str
+    index: Expr
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset({self})
+
+    def free_syms(self) -> frozenset[Sym]:
+        return self.index.free_syms()
+
+    def subst(self, fn: "SubstFn") -> Expr:
+        rep = fn(self)
+        if rep is not None:
+            return rep
+        new_index = self.index.subst(fn)
+        if new_index is self.index:
+            return self
+        if new_index.is_bottom:
+            return BOTTOM
+        return ArrayTerm(self.array, new_index)
+
+    def _key(self) -> tuple:
+        return (2, self.array, self.index._key())
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+    def __repr__(self) -> str:
+        return f"ArrayTerm({self.array!r}, {self.index!r})"
+
+
+class OpaqueOp(Enum):
+    FLOORDIV = "div"
+    MOD = "mod"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True, slots=True)
+class OpaqueTerm(Atom):
+    """An interpreted but non-linear operator, treated as an atom."""
+
+    op: OpaqueOp
+    args: tuple[Expr, ...]
+
+    def atoms(self) -> frozenset[Atom]:
+        return frozenset({self})
+
+    def free_syms(self) -> frozenset[Sym]:
+        out: set[Sym] = set()
+        for a in self.args:
+            out.update(a.free_syms())
+        return frozenset(out)
+
+    def subst(self, fn: "SubstFn") -> Expr:
+        rep = fn(self)
+        if rep is not None:
+            return rep
+        new_args = tuple(a.subst(fn) for a in self.args)
+        if all(n is o for n, o in zip(new_args, self.args)):
+            return self
+        return _rebuild_opaque(self.op, new_args)
+
+    def _key(self) -> tuple:
+        return (3, self.op.value, tuple(a._key() for a in self.args))
+
+    def __str__(self) -> str:
+        if self.op is OpaqueOp.FLOORDIV:
+            return f"({self.args[0]} / {self.args[1]})"
+        if self.op is OpaqueOp.MOD:
+            return f"({self.args[0]} % {self.args[1]})"
+        return f"{self.op.value}({', '.join(map(str, self.args))})"
+
+    def __repr__(self) -> str:
+        return f"OpaqueTerm({self.op.name}, {self.args!r})"
+
+
+class BottomExpr(Expr):
+    """⊥ — a value the compiler cannot analyze.  Absorbing element."""
+
+    __slots__ = ()
+    _instance: "BottomExpr | None" = None
+
+    def __new__(cls) -> "BottomExpr":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def _key(self) -> tuple:
+        return (9,)
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __hash__(self) -> int:
+        return hash("⊥-bottom")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BottomExpr)
+
+
+@dataclass(frozen=True, slots=True)
+class InfExpr(Expr):
+    """±∞, used only as a range endpoint."""
+
+    positive: bool
+
+    def _key(self) -> tuple:
+        return (8, self.positive)
+
+    def __str__(self) -> str:
+        return "+inf" if self.positive else "-inf"
+
+    def __repr__(self) -> str:
+        return "POS_INF" if self.positive else "NEG_INF"
+
+
+BOTTOM = BottomExpr()
+POS_INF = InfExpr(True)
+NEG_INF = InfExpr(False)
+
+# A monomial is a sorted tuple of atoms (with repetition for powers).
+Monomial = tuple[Atom, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Sum(Expr):
+    """Canonical linear combination: ``const + Σ coeff_i * monomial_i``.
+
+    Invariants enforced by :func:`_make_sum`: no zero coefficients, at
+    least one term (otherwise a :class:`Const` is produced), terms sorted
+    by monomial key, monomials non-empty and internally sorted.
+    """
+
+    const: Fraction
+    terms: tuple[tuple[Fraction, Monomial], ...]
+
+    def atoms(self) -> frozenset[Atom]:
+        out: set[Atom] = set()
+        for _, mono in self.terms:
+            out.update(mono)
+        return frozenset(out)
+
+    def subst(self, fn: "SubstFn") -> Expr:
+        parts: list[Expr] = [Const(self.const)]
+        changed = False
+        for coeff, mono in self.terms:
+            factors: list[Expr] = [Const(coeff)]
+            for atom in mono:
+                new_atom = atom.subst(fn)
+                if new_atom is not atom:
+                    changed = True
+                factors.append(new_atom)
+            parts.append(mul(*factors))
+        if not changed:
+            return self
+        return add(*parts)
+
+    def _key(self) -> tuple:
+        return (5, float(self.const), tuple((float(c), tuple(a._key() for a in m)) for c, m in self.terms))
+
+    def __str__(self) -> str:
+        chunks: list[str] = []
+        for coeff, mono in self.terms:
+            body = "*".join(str(a) for a in mono)
+            if coeff == 1:
+                chunk = body
+            elif coeff == -1:
+                chunk = f"-{body}"
+            else:
+                c = Const(coeff)
+                chunk = f"{c}*{body}"
+            chunks.append(chunk)
+        if self.const != 0 or not chunks:
+            chunks.append(str(Const(self.const)))
+        text = chunks[0]
+        for chunk in chunks[1:]:
+            text += f" - {chunk[1:]}" if chunk.startswith("-") else f" + {chunk}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Sum({self})"
+
+
+SubstFn = Callable[[Atom], "Expr | None"]
+
+
+# --------------------------------------------------------------------------
+# Factories / canonicalization
+# --------------------------------------------------------------------------
+
+
+def _coerce(x: ExprLike) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, Fraction)):
+        return Const(Fraction(x))
+    raise SymbolicError(f"cannot coerce {x!r} to Expr")
+
+
+def const(v: Number) -> Const:
+    """Integer/rational constant expression."""
+    return Const(Fraction(v))
+
+
+ZERO = const(0)
+ONE = const(1)
+
+
+def var(name: str) -> Sym:
+    """Ordinary program variable symbol."""
+    return Sym(name, SymKind.VAR)
+
+
+def param(name: str) -> Sym:
+    """Symbolic constant (problem-size parameter)."""
+    return Sym(name, SymKind.PARAM)
+
+
+def loopvar(name: str) -> Sym:
+    """Normalized loop-index symbol."""
+    return Sym(name, SymKind.LOOPVAR)
+
+
+def lam(name: str) -> Sym:
+    """λ(name): value of ``name`` at the start of the current iteration."""
+    return Sym(name, SymKind.ITER0)
+
+
+def big_lam(name: str) -> Sym:
+    """Λ(name): value of ``name`` at loop entry."""
+    return Sym(name, SymKind.LOOP0)
+
+
+def fresh(name: str) -> Sym:
+    """Internal fresh symbol (e.g. the iteration distance δ)."""
+    return Sym(name, SymKind.FRESH)
+
+
+def array_term(array: str, index: ExprLike) -> Expr:
+    """Symbolic value of ``array[index]`` (⊥ if the index is ⊥)."""
+    idx = _coerce(index)
+    if idx.is_bottom:
+        return BOTTOM
+    return ArrayTerm(array, idx)
+
+
+def _accumulate(
+    acc: dict[Monomial, Fraction], e: Expr, scale: Fraction
+) -> Fraction:
+    """Fold ``scale * e`` into the monomial accumulator; returns the
+    constant contribution."""
+    if isinstance(e, Const):
+        return scale * e.value
+    if isinstance(e, Sum):
+        for coeff, mono in e.terms:
+            acc[mono] = acc.get(mono, Fraction(0)) + scale * coeff
+        return scale * e.const
+    if isinstance(e, Atom):
+        mono: Monomial = (e,)
+        acc[mono] = acc.get(mono, Fraction(0)) + scale
+        return Fraction(0)
+    raise SymbolicError(f"non-canonical expression in add: {e!r}")
+
+
+def _make_sum(acc: dict[Monomial, Fraction], constant: Fraction) -> Expr:
+    terms = tuple(
+        sorted(
+            ((c, m) for m, c in acc.items() if c != 0),
+            key=lambda cm: tuple(a._key() for a in cm[1]),
+        )
+    )
+    if not terms:
+        return Const(constant)
+    if constant == 0 and len(terms) == 1:
+        coeff, mono = terms[0]
+        if coeff == 1 and len(mono) == 1:
+            return mono[0]  # collapse 1*atom back to the atom
+    return Sum(constant, terms)
+
+
+def add(*xs: ExprLike) -> Expr:
+    """Canonical sum; ⊥ absorbs, ±∞ propagates (opposite infinities are an
+    error — ranges never combine them through this function)."""
+    es = [_coerce(x) for x in xs]
+    if any(e.is_bottom for e in es):
+        return BOTTOM
+    infs = [e for e in es if e.is_infinite]
+    if infs:
+        if all(i.positive for i in infs):  # type: ignore[union-attr]
+            return POS_INF
+        if all(not i.positive for i in infs):  # type: ignore[union-attr]
+            return NEG_INF
+        raise SymbolicError("adding opposite infinities")
+    acc: dict[Monomial, Fraction] = {}
+    constant = Fraction(0)
+    for e in es:
+        constant += _accumulate(acc, e, Fraction(1))
+    return _make_sum(acc, constant)
+
+
+def neg(x: ExprLike) -> Expr:
+    return mul(-1, x)
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    return add(a, neg(b))
+
+
+def _mul_two(a: Expr, b: Expr) -> Expr:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    # infinity times a sign-known constant
+    for x, y in ((a, b), (b, a)):
+        if x.is_infinite:
+            if isinstance(y, Const):
+                if y.value == 0:
+                    return ZERO
+                pos = x.positive if y.value > 0 else not x.positive  # type: ignore[union-attr]
+                return POS_INF if pos else NEG_INF
+            raise SymbolicError("multiplying infinity by a symbolic value")
+    if isinstance(a, Const):
+        if a.value == 0:
+            return ZERO
+        acc: dict[Monomial, Fraction] = {}
+        constant = _accumulate(acc, b, a.value)
+        return _make_sum(acc, constant)
+    if isinstance(b, Const):
+        return _mul_two(b, a)
+    # distribute sums; products of atoms become longer monomials
+    a_terms = _as_terms(a)
+    b_terms = _as_terms(b)
+    acc = {}
+    constant = Fraction(0)
+    for ca, ma in a_terms:
+        for cb, mb in b_terms:
+            coeff = ca * cb
+            mono = tuple(sorted(ma + mb, key=lambda at: at._key()))
+            if mono:
+                acc[mono] = acc.get(mono, Fraction(0)) + coeff
+            else:
+                constant += coeff
+    return _make_sum(acc, constant)
+
+
+def _as_terms(e: Expr) -> list[tuple[Fraction, Monomial]]:
+    """View an expression as a list of (coeff, monomial) pairs."""
+    if isinstance(e, Const):
+        return [(e.value, ())]
+    if isinstance(e, Atom):
+        return [(Fraction(1), (e,))]
+    if isinstance(e, Sum):
+        out = list(e.terms)
+        if e.const != 0:
+            out.append((e.const, ()))
+        return out
+    raise SymbolicError(f"non-canonical expression in mul: {e!r}")
+
+
+def mul(*xs: ExprLike) -> Expr:
+    es = [_coerce(x) for x in xs]
+    out: Expr = ONE
+    for e in es:
+        out = _mul_two(out, e)
+    return out
+
+
+def _rebuild_opaque(op: OpaqueOp, args: tuple[Expr, ...]) -> Expr:
+    if op is OpaqueOp.FLOORDIV:
+        return intdiv(args[0], args[1])
+    if op is OpaqueOp.MOD:
+        return mod(args[0], args[1])
+    if op is OpaqueOp.MIN:
+        return smin(*args)
+    return smax(*args)
+
+
+def intdiv(a: ExprLike, b: ExprLike) -> Expr:
+    """C-style truncating division, folded when both sides are constant."""
+    ea, eb = _coerce(a), _coerce(b)
+    if ea.is_bottom or eb.is_bottom:
+        return BOTTOM
+    if isinstance(eb, Const) and eb.value == 0:
+        return BOTTOM
+    if isinstance(ea, Const) and isinstance(eb, Const):
+        q = ea.value / eb.value
+        # C semantics: truncate toward zero
+        import math
+
+        return const(math.trunc(q))
+    if isinstance(eb, Const) and eb.value == 1:
+        return ea
+    return OpaqueTerm(OpaqueOp.FLOORDIV, (ea, eb))
+
+
+def mod(a: ExprLike, b: ExprLike) -> Expr:
+    """C-style remainder, folded when both sides are constant."""
+    ea, eb = _coerce(a), _coerce(b)
+    if ea.is_bottom or eb.is_bottom:
+        return BOTTOM
+    if isinstance(eb, Const) and eb.value == 0:
+        return BOTTOM
+    if isinstance(ea, Const) and isinstance(eb, Const):
+        import math
+
+        q = math.trunc(ea.value / eb.value)
+        return const(ea.value - q * eb.value)
+    return OpaqueTerm(OpaqueOp.MOD, (ea, eb))
+
+
+def _fold_minmax(op: OpaqueOp, xs: Sequence[ExprLike]) -> Expr:
+    es: list[Expr] = []
+    for x in xs:
+        e = _coerce(x)
+        if e.is_bottom:
+            return BOTTOM
+        if isinstance(e, OpaqueTerm) and e.op is op:
+            es.extend(e.args)
+        else:
+            es.append(e)
+    pick = min if op is OpaqueOp.MIN else max
+    # fold infinities
+    if op is OpaqueOp.MIN and any(e is NEG_INF for e in es):
+        return NEG_INF
+    if op is OpaqueOp.MAX and any(e is POS_INF for e in es):
+        return POS_INF
+    absorb = POS_INF if op is OpaqueOp.MIN else NEG_INF
+    es = [e for e in es if e is not absorb]
+    if not es:
+        return absorb
+    # eliminate arguments dominated by a constant offset: min(x, x+1) = x
+    keep_smaller = op is OpaqueOp.MIN
+    kept: list[Expr] = []
+    for e in es:
+        dominated = False
+        for i, k in enumerate(kept):
+            diff = add(e, mul(-1, k))
+            if isinstance(diff, Const):
+                better_is_e = (diff.value < 0) if keep_smaller else (diff.value > 0)
+                if better_is_e:
+                    kept[i] = e
+                dominated = True
+                break
+        if not dominated:
+            kept.append(e)
+    consts = [e for e in kept if isinstance(e, Const)]
+    others: list[Expr] = []
+    for e in kept:
+        if not isinstance(e, Const) and e not in others:
+            others.append(e)
+    if consts:
+        folded = const(pick(c.value for c in consts))
+        if not others:
+            return folded
+        others.append(folded)
+    if len(others) == 1:
+        return others[0]
+    others.sort(key=lambda e: e._key())
+    return OpaqueTerm(op, tuple(others))
+
+
+def smin(*xs: ExprLike) -> Expr:
+    """Symbolic minimum (n-ary, flattened, constants folded)."""
+    return _fold_minmax(OpaqueOp.MIN, xs)
+
+
+def smax(*xs: ExprLike) -> Expr:
+    """Symbolic maximum (n-ary, flattened, constants folded)."""
+    return _fold_minmax(OpaqueOp.MAX, xs)
+
+
+# --------------------------------------------------------------------------
+# Queries on canonical expressions
+# --------------------------------------------------------------------------
+
+
+def occurs_in(needle: Atom, hay: Expr) -> bool:
+    """Does ``needle`` occur anywhere inside ``hay`` (including nested in
+    array indices and opaque-operator arguments)?"""
+    if hay == needle:
+        return True
+    if isinstance(hay, ArrayTerm):
+        return occurs_in(needle, hay.index)
+    if isinstance(hay, OpaqueTerm):
+        return any(occurs_in(needle, a) for a in hay.args)
+    if isinstance(hay, Sum):
+        for _, mono in hay.terms:
+            for atom in mono:
+                if occurs_in(needle, atom):
+                    return True
+        return False
+    return False
+
+
+def as_linear(e: Expr, atom: Atom) -> tuple[Expr, Expr] | None:
+    """Decompose ``e == a*atom + b`` with ``a``, ``b`` free of ``atom``.
+
+    Works for any atom kind (symbols and array terms alike).  Returns
+    ``(a, b)`` or ``None`` if ``e`` is not linear in ``atom`` (e.g. the
+    atom appears inside another atom's sub-expression or with itself in
+    one monomial).
+    """
+    if isinstance(e, Const):
+        return (ZERO, e)
+    if e.is_infinite or e.is_bottom:
+        return None
+    coeff_terms: list[Expr] = []
+    rest_terms: list[Expr] = []
+    for c, mono in _as_terms(e):
+        occurs = [a for a in mono if a == atom]
+        nested = any(a != atom and occurs_in(atom, a) for a in mono)
+        if nested or len(occurs) > 1:
+            return None
+        if occurs:
+            others = tuple(a for a in mono if a != atom)
+            coeff_terms.append(mul(const(c), *others) if others else const(c))
+        else:
+            rest_terms.append(mul(const(c), *mono) if mono else const(c))
+    a = add(*coeff_terms) if coeff_terms else ZERO
+    b = add(*rest_terms) if rest_terms else ZERO
+    return a, b
+
+
+def array_terms_of(e: Expr) -> list[ArrayTerm]:
+    """All :class:`ArrayTerm` atoms appearing (top level) in ``e``."""
+    return [a for a in e.atoms() if isinstance(a, ArrayTerm)]
+
+
+def evaluate(e: Expr, env: Mapping[Atom, Number] | Mapping[Sym, Number]) -> Fraction:
+    """Concretely evaluate ``e`` given numeric bindings for its atoms.
+
+    Used by the property-based tests to check that canonicalization is
+    meaning-preserving.  ``env`` may bind atoms directly; symbols nested
+    inside :class:`ArrayTerm` / :class:`OpaqueTerm` are resolved
+    recursively when the atom itself is unbound.
+    """
+    import math
+
+    if isinstance(e, Const):
+        return e.value
+    if e.is_bottom or e.is_infinite:
+        raise SymbolicError(f"cannot evaluate {e}")
+    if isinstance(e, Atom):
+        if e in env:
+            return Fraction(env[e])  # type: ignore[index]
+        if isinstance(e, OpaqueTerm):
+            vals = [evaluate(a, env) for a in e.args]
+            if e.op is OpaqueOp.MIN:
+                return min(vals)
+            if e.op is OpaqueOp.MAX:
+                return max(vals)
+            if e.op is OpaqueOp.FLOORDIV:
+                if vals[1] == 0:
+                    raise SymbolicError("division by zero in evaluate")
+                return Fraction(math.trunc(vals[0] / vals[1]))
+            q = math.trunc(vals[0] / vals[1]) if vals[1] != 0 else 0
+            if vals[1] == 0:
+                raise SymbolicError("mod by zero in evaluate")
+            return vals[0] - q * vals[1]
+        raise SymbolicError(f"unbound atom {e} in evaluate")
+    assert isinstance(e, Sum)
+    total = e.const
+    for coeff, mono in e.terms:
+        prod = Fraction(1)
+        for atom in mono:
+            prod *= evaluate(atom, env)
+        total += coeff * prod
+    return total
+
+
+def is_nonneg_const(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value >= 0
+
+
+def is_pos_const(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value > 0

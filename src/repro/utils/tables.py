@@ -1,0 +1,66 @@
+"""Plain-text table rendering used by the benchmark harnesses.
+
+The evaluation scripts print the same rows/series the paper reports; this
+module keeps that formatting in one place so every harness looks alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table.
+
+    >>> t = Table(["name", "value"], title="demo")
+    >>> t.add_row("alpha", 1)
+    >>> "alpha" in t.render()
+    True
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_cell(v) for v in values])
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render ``headers`` and ``rows`` as an aligned ASCII table."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

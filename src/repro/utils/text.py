@@ -1,0 +1,16 @@
+"""Text helpers shared by printers and reports."""
+
+from __future__ import annotations
+
+
+def indent_block(text: str, spaces: int = 4) -> str:
+    """Indent every non-empty line of ``text`` by ``spaces`` spaces."""
+    pad = " " * spaces
+    return "\n".join(pad + line if line else line for line in text.splitlines())
+
+
+def pluralize(count: int, singular: str, plural: str | None = None) -> str:
+    """Return ``"<count> <noun>"`` with basic English pluralization."""
+    if count == 1:
+        return f"{count} {singular}"
+    return f"{count} {plural if plural is not None else singular + 's'}"

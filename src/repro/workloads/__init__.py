@@ -1,0 +1,45 @@
+"""Workloads: NPB CG (classes, matrix generator, CG driver), UA and
+CSparse kernel equivalents, CSR utilities, and input generators for every
+pattern class."""
+
+from repro.workloads import csparse_kernels, generators, npb_cg, npb_ua, sparse
+from repro.workloads.npb_cg import (
+    CG_CLASSES,
+    CGClass,
+    CGResult,
+    assemble_csr,
+    build_matrix,
+    cg_benchmark,
+    conj_grad,
+    make_sparse_rows,
+    scaled_class,
+)
+from repro.workloads.sparse import (
+    csr_from_dense,
+    is_injective,
+    is_monotonic,
+    spmv,
+    spmv_numpy,
+)
+
+__all__ = [
+    "CG_CLASSES",
+    "CGClass",
+    "CGResult",
+    "assemble_csr",
+    "build_matrix",
+    "cg_benchmark",
+    "conj_grad",
+    "csparse_kernels",
+    "csr_from_dense",
+    "generators",
+    "is_injective",
+    "is_monotonic",
+    "make_sparse_rows",
+    "npb_cg",
+    "npb_ua",
+    "scaled_class",
+    "sparse",
+    "spmv",
+    "spmv_numpy",
+]

@@ -1,0 +1,45 @@
+"""CSparse (SuiteSparse) kernel equivalents (Figures 5 and 6) in Python.
+
+CSparse supplies the paper's *subset injectivity* and *simultaneous
+monotone + injective* patterns: ``cs_maxtrans`` inverts a partial
+matching (only non-negative entries participate), and the
+Dulmage–Mendelsohn block decomposition scatters block ids through a
+permutation bounded by monotone block boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def invert_matching(jmatch: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Figure 5: ``imatch[jmatch[i]] = i`` guarded by ``jmatch[i] >= 0``.
+
+    The non-negative subset of ``jmatch`` must be injective (a matching);
+    the guarded writes then hit distinct elements.
+    """
+    m = len(jmatch)
+    size = n if n is not None else (int(jmatch.max()) + 1 if m and jmatch.max() >= 0 else 1)
+    imatch = np.full(size, -1, dtype=np.int64)
+    for i in range(m):
+        if jmatch[i] >= 0:
+            imatch[int(jmatch[i])] = i
+    return imatch
+
+
+def scatter_block_ids(r: np.ndarray, p: np.ndarray, n: int) -> np.ndarray:
+    """Figure 6: ``Blk[p[k]] = b`` for ``k ∈ [r[b] : r[b+1])``.
+
+    ``r`` monotone makes the k-ranges disjoint, ``p`` injective makes the
+    scattered targets distinct — the outer loop over blocks is parallel.
+    """
+    nb = len(r) - 1
+    if int(r[nb]) > len(p):
+        raise WorkloadError("block boundaries exceed permutation length")
+    blk = np.full(n, -1, dtype=np.int64)
+    for b in range(nb):
+        for k in range(int(r[b]), int(r[b + 1])):
+            blk[int(p[k])] = b
+    return blk

@@ -1,0 +1,140 @@
+"""Input generators for every pattern class of the paper's Section 2.
+
+Each generator produces index arrays with exactly the property the
+corresponding figure relies on (and, for negative testing, deliberately
+corrupted variants without it).  Tests and the oracle use these to
+validate that the compiler's verdicts match dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def rng_of(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# -- P1 injectivity (Figure 2) ------------------------------------------------
+
+
+def injective_map(n: int, seed: int = 0) -> np.ndarray:
+    """A permutation of ``0..n-1`` — ``mt_to_id`` in UA."""
+    return rng_of(seed).permutation(n).astype(np.int64)
+
+
+def non_injective_map(n: int, seed: int = 0) -> np.ndarray:
+    """A map with at least one duplicate (negative control)."""
+    if n < 2:
+        raise WorkloadError("need n >= 2 to create a duplicate")
+    arr = injective_map(n, seed)
+    arr[n - 1] = arr[0]
+    return arr
+
+
+# -- P2a monotonicity (Figure 3 / 9) -------------------------------------------
+
+
+def monotonic_rowptr(n_rows: int, max_row: int = 8, seed: int = 0) -> np.ndarray:
+    """A non-strict monotonic ``rowptr``/``rowstr`` (0-based, length
+    ``n_rows+1``) with some empty rows."""
+    sizes = rng_of(seed).integers(0, max_row + 1, size=n_rows)
+    out = np.zeros(n_rows + 1, dtype=np.int64)
+    out[1:] = np.cumsum(sizes)
+    return out
+
+
+def corrupted_rowptr(n_rows: int, max_row: int = 8, seed: int = 0) -> np.ndarray:
+    """A rowptr with a monotonicity violation (negative control)."""
+    out = monotonic_rowptr(n_rows, max_row, seed)
+    if n_rows >= 2:
+        out[1] = out[2] + 1 if out[2] + 1 > out[1] else out[1] + out[2] + 1
+        out[2] = 0
+    return out
+
+
+# -- P2c monotonic difference (Figure 4) -----------------------------------------
+
+
+def rowstr_nzloc(n_rows: int, max_row: int = 6, max_zeros: int = 2, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``rowstr`` (length n+1, monotonic) and ``nzloc`` (length n,
+    cumulative removed-zero counts) such that ``rowstr - nzloc`` is
+    monotonic — CG's post-elimination compaction inputs."""
+    rng = rng_of(seed)
+    sizes = rng.integers(1, max_row + 1, size=n_rows)
+    rowstr = np.zeros(n_rows + 1, dtype=np.int64)
+    rowstr[1:] = np.cumsum(sizes)
+    zeros = np.minimum(rng.integers(0, max_zeros + 1, size=n_rows), sizes - 1)
+    nzloc = np.cumsum(zeros).astype(np.int64)
+    return rowstr, nzloc
+
+
+# -- P3 injective subset (Figure 5) ------------------------------------------------
+
+
+def jmatch_partial(m: int, n: int | None = None, seed: int = 0) -> np.ndarray:
+    """A partial matching: ``jmatch[i] ∈ {-1} ∪ 0..n-1`` with the
+    non-negative entries pairwise distinct (CSparse ``cs_maxtrans``)."""
+    n = n if n is not None else m
+    rng = rng_of(seed)
+    out = np.full(m, -1, dtype=np.int64)
+    k = min(m, n)
+    chosen_rows = rng.choice(m, size=rng.integers(0, k + 1), replace=False)
+    targets = rng.choice(n, size=len(chosen_rows), replace=False)
+    out[chosen_rows] = targets
+    return out
+
+
+# -- P4a simultaneous monotone + injective (Figure 6) ---------------------------------
+
+
+def blocks_r_p(n: int, n_blocks: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``r`` (monotonic block boundaries over 0..n) and ``p`` (a
+    permutation of 0..n-1) — CSparse Dulmage-Mendelsohn decomposition."""
+    rng = rng_of(seed)
+    if n_blocks > n:
+        raise WorkloadError("more blocks than elements")
+    cuts = np.sort(rng.choice(np.arange(1, n), size=n_blocks - 1, replace=False)) if n_blocks > 1 else np.array([], dtype=np.int64)
+    r = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    p = rng.permutation(n).astype(np.int64)
+    return r, p
+
+
+# -- P4b / P5 UA adaptation arrays (Figures 7 and 8) -----------------------------------
+
+
+def ua_refinement(nelt: int, num_refine: int, seed: int = 0) -> dict[str, np.ndarray]:
+    """Arrays of UA's mesh-transfer step:
+
+    * ``action`` — injective list of ``num_refine`` distinct mortar ids;
+    * ``mt_to_id_old`` — permutation of element ids;
+    * ``front`` — strictly monotonically increasing positive counters
+      (prefix sums of refinement flags, as UA's ``refine`` produces);
+    * ``ich`` — per-element 0/4 condition codes.
+    """
+    rng = rng_of(seed)
+    if num_refine > nelt:
+        raise WorkloadError("cannot refine more elements than exist")
+    action = rng.choice(nelt, size=num_refine, replace=False).astype(np.int64)
+    mt_to_id_old = rng.permutation(nelt).astype(np.int64)
+    front = (np.cumsum(rng.integers(1, 3, size=nelt))).astype(np.int64)
+    ich = (rng.integers(0, 2, size=nelt) * 4).astype(np.int64)
+    return {
+        "action": action,
+        "mt_to_id_old": mt_to_id_old,
+        "front": front,
+        "ich": ich,
+    }
+
+
+# -- dense matrices for the Figure 9 pipeline -------------------------------------------
+
+
+def sparse_dense_matrix(rows: int, cols: int, density: float = 0.3, seed: int = 0) -> np.ndarray:
+    """A small dense matrix with the requested nonzero density."""
+    rng = rng_of(seed)
+    a = rng.integers(1, 10, size=(rows, cols)).astype(np.int64)
+    mask = rng.random((rows, cols)) < density
+    return (a * mask).astype(np.int64)

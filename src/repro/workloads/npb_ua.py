@@ -1,0 +1,74 @@
+"""UA-benchmark kernel equivalents (Figures 2, 7, 8) in Python.
+
+UA (Unstructured Adaptive) drives the paper's injectivity patterns: mesh
+adaptation maintains mortar-to-element maps that are permutations, and
+refinement fronts that are strictly monotonic.  These Python twins are
+the reference implementations the interpreter results are checked
+against, and the dynamic ground truth for the oracle tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def invert_map(mt_to_id: np.ndarray, nelt: int | None = None) -> np.ndarray:
+    """Figure 2: ``id_to_mt[mt_to_id[miel]] = miel``.
+
+    Requires ``mt_to_id`` injective; the writes then hit distinct
+    elements and the loop is parallel.
+    """
+    n = len(mt_to_id) if nelt is None else nelt
+    id_to_mt = np.full(int(mt_to_id.max()) + 1 if n else 0, -1, dtype=np.int64)
+    for miel in range(n):
+        iel = int(mt_to_id[miel])
+        id_to_mt[iel] = miel
+    return id_to_mt
+
+
+def transfer_tree(
+    action: np.ndarray,
+    mt_to_id_old: np.ndarray,
+    front: np.ndarray,
+    nelttemp: int,
+    ntemp: int,
+    tree_size: int,
+) -> np.ndarray:
+    """Figure 7 essence: each refined element writes a block of 7 tree
+    slots at ``nelt = nelttemp + (front[miel]-1)*7``; ``action`` and
+    ``front`` injectivity makes the blocks disjoint."""
+    tree = np.zeros(tree_size, dtype=np.int64)
+    for index in range(len(action)):
+        miel = int(action[index])
+        _iel = int(mt_to_id_old[miel])
+        nelt = nelttemp + (int(front[miel]) - 1) * 7
+        if nelt < 0 or nelt + 7 > tree_size:
+            raise WorkloadError("tree buffer too small for refinement front")
+        for i in range(7):
+            tree[nelt + i] = ntemp + ((i + 1) % 8)
+    return tree
+
+
+def remap_elements(
+    mt_to_id_old: np.ndarray,
+    front: np.ndarray,
+    ich: np.ndarray,
+    nelt: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 8 essence: compute new mortar positions from two mutually
+    exclusive strictly-monotonic expressions."""
+    size = nelt + 7 * (int(front.max()) + 1) if nelt else 1
+    mt_to_id = np.full(size, -1, dtype=np.int64)
+    ref_front_id = np.full(nelt, -1, dtype=np.int64)
+    for miel in range(nelt):
+        iel = int(mt_to_id_old[miel])
+        if ich[iel] == 4:
+            ntemp = (int(front[miel]) - 1) * 7
+        else:
+            ntemp = int(front[miel]) * 7
+        mielnew = miel + ntemp
+        mt_to_id[mielnew] = iel
+        ref_front_id[iel] = nelt + ntemp
+    return mt_to_id, ref_front_id

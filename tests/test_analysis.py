@@ -1,0 +1,242 @@
+"""Analysis tests: the property lattice, Phase 1, Phase 2 rules, the
+driver's Section-3.5 trace, and fact kills."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Prop,
+    PropertyEnv,
+    analyze_function,
+    closure,
+    describe,
+    is_injective,
+    is_monotonic,
+    join,
+    meet,
+    render_trace,
+)
+from repro.ir import build_function
+from repro.symbolic import SymKind
+
+
+class TestPropertyLattice:
+    def test_closure_identity(self):
+        c = closure({Prop.IDENTITY})
+        assert Prop.STRICT_INC in c
+        assert Prop.MONO_INC in c
+        assert Prop.INJECTIVE in c
+
+    def test_closure_strict_dec(self):
+        c = closure({Prop.STRICT_DEC})
+        assert Prop.MONO_DEC in c and Prop.INJECTIVE in c
+        assert Prop.MONO_INC not in c
+
+    def test_join_keeps_common(self):
+        j = join({Prop.STRICT_INC}, {Prop.STRICT_DEC})
+        assert j == {Prop.INJECTIVE}
+
+    def test_join_empty_when_disjoint(self):
+        assert join({Prop.MONO_INC}, {Prop.MONO_DEC}) == frozenset()
+
+    def test_meet_accumulates(self):
+        m = meet({Prop.MONO_INC}, {Prop.INJECTIVE})
+        assert Prop.MONO_INC in m and Prop.INJECTIVE in m
+
+    def test_queries(self):
+        assert is_monotonic({Prop.IDENTITY})
+        assert is_injective({Prop.STRICT_DEC})
+        assert not is_injective({Prop.MONO_INC})
+
+    def test_describe_minimal(self):
+        assert describe({Prop.IDENTITY}) == "Identity"
+        assert "Monotonic_inc" in describe({Prop.MONO_INC})
+
+
+def analyze(src: str):
+    f = build_function(src)
+    return f, analyze_function(f)
+
+
+class TestPhase2ScalarRules:
+    def test_constant_increment(self):
+        f, res = analyze(
+            "void f(int n) { int i, x; x = 0; for (i = 0; i < n; i++) { x = x + 2; } }"
+        )
+        post = res.summary("L1").scalar_post["x"]
+        assert "Λ(x)" in str(post.lo)
+        assert "2*n" in str(post.lo).replace(" ", "").replace("n*2", "2*n")
+
+    def test_conditional_increment_gives_range(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i, x; x = 0;"
+            " for (i = 0; i < n; i++) { if (a[i] > 0) { x = x + 1; } } }"
+        )
+        post = res.summary("L1").scalar_post["x"]
+        assert str(post.lo) == "Λ(x)"
+        assert "n" in str(post.hi)
+
+    def test_triangular_sum(self):
+        # x += i over i in [0, n): x = Λ + n(n-1)/2
+        f, res = analyze(
+            "void f(int n) { int i, x; x = 0; for (i = 0; i < n; i++) { x = x + i; } }"
+        )
+        post = res.summary("L1").scalar_post["x"]
+        assert post.is_point
+        text = str(post.lo)
+        assert "Λ(x)" in text and "/ 2" in text
+
+    def test_loop_var_final_value(self):
+        f, res = analyze("void f(int n) { int i, x; for (i = 0; i < n; i++) { x = i; } }")
+        assert str(res.summary("L1").scalar_post["i"].lo) == "n"
+
+    def test_unanalyzable_multiplicative_is_bottom(self):
+        f, res = analyze(
+            "void f(int n) { int i, x; x = 1; for (i = 0; i < n; i++) { x = x * 2; } }"
+        )
+        assert "x" in res.summary("L1").bottom_scalars
+
+
+class TestPhase2ArrayRules:
+    def test_invariant_value_section(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[i] = 7; } }"
+        )
+        fact = res.summary("L1").array_facts["a"]
+        assert str(fact.section) == "[0 : n - 1]"
+        assert str(fact.value_range) == "[7]"
+
+    def test_identity_write(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[i] = i; } }"
+        )
+        fact = res.summary("L1").array_facts["a"]
+        assert fact.props and Prop.IDENTITY in closure(fact.props)
+
+    def test_strict_monotonic_linear_write(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[i] = 2 * i + 5; } }"
+        )
+        fact = res.summary("L1").array_facts["a"]
+        assert Prop.STRICT_INC in closure(fact.props)
+        assert Prop.INJECTIVE in closure(fact.props)
+
+    def test_decreasing_linear_write(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[i] = 0 - i; } }"
+        )
+        fact = res.summary("L1").array_facts["a"]
+        assert Prop.STRICT_DEC in closure(fact.props)
+
+    def test_recurrence_nonneg_increment(self):
+        f, res = analyze(
+            "void f(int n, int a[], int s[]) { int i;"
+            " for (i = 0; i < n; i++) { s[i] = 3; }"
+            " a[0] = 0;"
+            " for (i = 1; i < n + 1; i++) { a[i] = a[i-1] + s[i-1]; } }"
+        )
+        fact = res.summary("L2").array_facts["a"]
+        # increment is exactly 3 > 0: strictly increasing
+        assert Prop.STRICT_INC in closure(fact.props)
+        assert str(fact.section) == "[0 : n]"
+
+    def test_recurrence_negative_increment(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; a[0] = 100;"
+            " for (i = 1; i < n; i++) { a[i] = a[i-1] - 2; } }"
+        )
+        fact = res.summary("L1").array_facts["a"]
+        assert Prop.STRICT_DEC in closure(fact.props)
+
+    def test_recurrence_unknown_increment_no_property(self):
+        f, res = analyze(
+            "void f(int n, int a[], int t[]) { int i;"
+            " for (i = 1; i < n; i++) { a[i] = a[i-1] + t[i]; } }"
+        )
+        summary = res.summary("L1")
+        fact = summary.array_facts.get("a")
+        assert fact is None or not fact.props
+
+    def test_non_simple_subscript_is_bottom(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i, k; k = 0;"
+            " for (i = 0; i < n; i++) { a[k] = i; k = k + 1; } }"
+        )
+        assert "a" in res.summary("L1").bottom_arrays
+
+    def test_strided_subscript_is_bottom(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[2*i] = 1; } }"
+        )
+        assert "a" in res.summary("L1").bottom_arrays
+
+
+class TestDriver:
+    def test_fig9_trace_matches_paper(self, fig9_func, fig9_analysis):
+        trace = render_trace(fig9_analysis, ["count", "rowsize", "rowptr"])
+        # Phase 1 of the inner counting loop: count : [λ : λ+1]
+        assert "Phase 1 (L1.1): count : [λ(count) : λ(count) + 1]" in trace
+        # Phase 2 aggregates to Λ + n (paper prints COLUMNLEN-1; we compute
+        # the sharp bound COLUMNLEN — see EXPERIMENTS.md)
+        assert "Phase 2 (L1.1): count : [Λ(count) : Λ(count) + COLUMNLEN]" in trace
+        # rowsize gets section + value range
+        assert "rowsize : [0 : ROWLEN - 1]" in trace
+        # the rowptr recurrence becomes Monotonic_inc
+        assert "Monotonic_inc" in trace
+
+    def test_fig9_env_before_product_loop(self, fig9_analysis):
+        env = fig9_analysis.env_at("L3")
+        rec = env.record("rowptr")
+        assert rec is not None
+        assert rec.has(Prop.MONO_INC)
+        assert str(rec.section) == "[0 : ROWLEN]"
+        assert rec.value_range is not None and str(rec.value_range.lo) == "0"
+
+    def test_phase_order_inside_out(self, fig9_analysis):
+        order = [lbl for ph, lbl in fig9_analysis.phase_order if ph == 2]
+        assert order.index("L1.1") < order.index("L1")
+        assert order.index("L3.1") < order.index("L3")
+
+    def test_write_kills_record(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i;"
+            " for (i = 0; i < n; i++) { a[i] = i; }"
+            " a[0] = 99;"
+            " for (i = 0; i < n; i++) { a[i] = a[i] + 0; } }"
+        )
+        env = res.env_at("L2")
+        rec = env.record("a")
+        assert rec is None  # the point write killed the Identity record
+
+    def test_assertions_seed_and_survive(self):
+        from repro.analysis import ArrayRecord
+
+        env0 = PropertyEnv()
+        env0.set_record(ArrayRecord("p", props=frozenset({Prop.INJECTIVE})))
+        f = build_function(
+            "void f(int n, int p[], int q[]) { int i;"
+            " for (i = 0; i < n; i++) { q[p[i]] = i; } }"
+        )
+        res = analyze_function(f, env0)
+        assert res.env_at("L1").record("p") is not None
+
+    def test_assertions_killed_by_write(self):
+        from repro.analysis import ArrayRecord
+
+        env0 = PropertyEnv()
+        env0.set_record(ArrayRecord("p", props=frozenset({Prop.INJECTIVE})))
+        f = build_function(
+            "void f(int n, int p[], int q[]) { int i;"
+            " p[0] = 0;"
+            " for (i = 0; i < n; i++) { q[p[i]] = i; } }"
+        )
+        res = analyze_function(f, env0)
+        assert res.env_at("L1").record("p") is None
+
+    def test_while_havocs(self):
+        f, res = analyze(
+            "void f(int n, int a[]) { int i; for (i = 0; i < n; i++) { a[i] = i; }"
+            " while (n > 0) { a[0] = 1; n = n - 1; } }"
+        )
+        assert res.final_env.record("a") is None

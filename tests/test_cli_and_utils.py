@@ -1,0 +1,112 @@
+"""Tests for the CLI, the table renderer, and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    AnalysisError,
+    IRError,
+    InterpreterError,
+    LexError,
+    ParseError,
+    ReproError,
+    SymbolicError,
+    WorkloadError,
+)
+from repro.utils import Table, format_table, indent_block, pluralize
+from tests.conftest import FIG9_SOURCE
+
+
+@pytest.fixture()
+def fig9_file(tmp_path):
+    p = tmp_path / "fig9.c"
+    p.write_text(FIG9_SOURCE)
+    return str(p)
+
+
+class TestCli:
+    def test_parallelize(self, fig9_file, capsys):
+        assert main(["parallelize", fig9_file]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel for private(j,j1)" in out
+
+    def test_parallelize_with_plan_and_trace(self, fig9_file, capsys):
+        assert main(["parallelize", fig9_file, "--plan", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "PARALLEL" in out and "Phase 2" in out
+
+    def test_parallelize_baseline_method(self, fig9_file, capsys):
+        assert main(["parallelize", fig9_file, "--method", "range"]) == 0
+        out = capsys.readouterr().out
+        # the baseline cannot parallelize the subscripted-subscript outer
+        # loop (it may still pick up the affine inner loop)
+        assert "private(j,j1)" not in out
+
+    def test_analyze(self, fig9_file, capsys):
+        assert main(["analyze", fig9_file, "--vars", "rowptr,count"]) == 0
+        out = capsys.readouterr().out
+        assert "Monotonic_inc" in out
+
+    def test_figure10_command(self, capsys):
+        assert main(["figure10"]) == 0
+        out = capsys.readouterr().out
+        assert "all paper shape checks hold" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+
+class TestTables:
+    def test_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("a", 1)
+        t.add_row("long-name", 2.5)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(3.14159)
+        assert "3.142" in t.render()
+
+    def test_wrong_arity_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_format_table_plain(self):
+        text = format_table(["h"], [["v"]])
+        assert "h" in text and "v" in text
+
+
+class TestTextHelpers:
+    def test_indent_block(self):
+        assert indent_block("a\n\nb", 2) == "  a\n\n  b"
+
+    def test_pluralize(self):
+        assert pluralize(1, "loop") == "1 loop"
+        assert pluralize(2, "loop") == "2 loops"
+        assert pluralize(2, "query", "queries") == "2 queries"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            LexError("x", 1, 2),
+            ParseError("x", 1, 2),
+            IRError("x"),
+            SymbolicError("x"),
+            AnalysisError("x"),
+            InterpreterError("x"),
+            WorkloadError("x"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_locations_in_messages(self):
+        assert "3:7" in str(LexError("bad", 3, 7))
+        assert "2:1" in str(ParseError("bad", 2, 1))

@@ -1,0 +1,194 @@
+"""IR tests: lowering/desugaring, loop normalization, labels, symtab,
+the IR printer, and the IR→symbolic bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (
+    IArrayRef,
+    IBin,
+    IConst,
+    IVar,
+    SAssign,
+    SIf,
+    SLoop,
+    SWhile,
+    build_function,
+    cond_to_atoms,
+    function_to_c,
+    ir_to_sym,
+)
+from repro.ir.symtab import ElemType
+from repro.symbolic import BOTTOM, add, array_term, const, intdiv, mod, mul, sub, var
+
+
+def lower(body: str, decls: str = "int i, j, k, x, y, n; int a[100]; int b[100];") -> list:
+    src = f"void f() {{ {decls} {body} }}"
+    return build_function(src).body
+
+
+class TestDesugaring:
+    def test_compound_assign(self):
+        stmts = lower("x += 3;")
+        s = stmts[0]
+        assert isinstance(s, SAssign)
+        assert isinstance(s.value, IBin) and s.value.op == "+"
+
+    def test_statement_increment(self):
+        stmts = lower("x++;")
+        s = stmts[0]
+        assert isinstance(s, SAssign)
+        assert str(s.value) == "(x + 1)"
+
+    def test_postincrement_in_subscript(self):
+        stmts = lower("a[x++] = 5;")
+        assert len(stmts) == 2
+        write, update = stmts
+        assert isinstance(write, SAssign) and isinstance(write.target, IArrayRef)
+        assert str(write.target) == "a[x]"
+        assert isinstance(update, SAssign) and str(update.target) == "x"
+
+    def test_preincrement_in_subscript(self):
+        stmts = lower("a[++x] = 5;")
+        update, write = stmts
+        assert str(update.target) == "x"
+        assert str(write.target) == "a[x]"
+
+    def test_ternary_lowered_to_if(self):
+        stmts = lower("x = y > 0 ? 1 : 2;")
+        assert any(isinstance(s, SIf) for s in stmts)
+
+    def test_multidim_ref(self):
+        stmts = lower("x = c[i][j];", decls="int i, j, x; int c[10][10];")
+        s = stmts[0]
+        assert isinstance(s.value, IArrayRef)
+        assert len(s.value.indices) == 2
+
+
+class TestLoopNormalization:
+    def test_upward_lt(self):
+        stmts = lower("for (i = 0; i < n; i++) { x = i; }")
+        loop = stmts[0]
+        assert isinstance(loop, SLoop)
+        assert (str(loop.lb), str(loop.ub), loop.step) == ("0", "n", 1)
+
+    def test_upward_le(self):
+        loop = lower("for (i = 1; i <= n; i++) { x = i; }")[0]
+        assert str(loop.ub) == "(n + 1)"
+
+    def test_downward(self):
+        loop = lower("for (i = n - 1; i >= 0; i--) { x = i; }")[0]
+        assert loop.step == -1
+        assert str(loop.ub) == "(0 - 1)"
+
+    def test_step_forms(self):
+        cases = (
+            ("i = 0; i < n", "i += 2", 2),
+            ("i = 0; i < n", "i = i + 3", 3),
+            ("i = n; i > 0", "i -= 1", -1),
+        )
+        for head, step_src, expected in cases:
+            loop = lower(f"for ({head}; {step_src}) {{ x = i; }}")[0]
+            assert isinstance(loop, SLoop)
+            assert loop.step == expected
+
+    def test_flipped_condition(self):
+        loop = lower("for (i = 0; n > i; i++) { x = i; }")[0]
+        assert isinstance(loop, SLoop)
+        assert str(loop.ub) == "n"
+
+    def test_decl_init(self):
+        stmts = lower("for (int q = 0; q < n; q++) { x = q; }", decls="int x, n;")
+        loop = stmts[0]
+        assert isinstance(loop, SLoop) and loop.var == "q"
+
+    def test_non_inductive_falls_back_to_while(self):
+        stmts = lower("for (i = 0; a[i] < n; i++) { x = i; }")
+        assert any(isinstance(s, SWhile) for s in stmts)
+
+    def test_bound_referencing_var_falls_back(self):
+        stmts = lower("for (i = 0; i < i + n; i++) { x = i; }")
+        assert any(isinstance(s, SWhile) for s in stmts)
+
+    def test_labels_nested(self):
+        stmts = lower(
+            "for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { x = j; } }"
+            "for (k = 0; k < n; k++) { x = k; }"
+        )
+        f = build_function(
+            "void g(int n) { int i, j, k, x;"
+            " for (i = 0; i < n; i++) { for (j = 0; j < n; j++) { x = j; } }"
+            " for (k = 0; k < n; k++) { x = k; } }"
+        )
+        labels = [l.label for l in f.loops()]
+        assert labels == ["L1", "L1.1", "L2"]
+        assert [l.label for l in f.outer_loops()] == ["L1", "L2"]
+
+
+class TestSymtab:
+    def test_params_and_locals(self):
+        f = build_function("void f(double v[], int n) { int i; double s; s = 0.0; }")
+        assert f.symtab.is_array("v")
+        assert f.symtab.lookup("v").elem_type is ElemType.FLOAT
+        assert f.symtab.is_int_scalar("i")
+        assert not f.symtab.is_int_scalar("s")
+        assert f.symtab.lookup("n").is_param
+
+    def test_globals_visible(self):
+        from repro.ir import build_program
+
+        prog = build_program("int g[5];\nvoid f() { g[0] = 1; }")
+        func = prog.function("f")
+        assert func.symtab.is_array("g")
+
+
+class TestIrToSym:
+    def test_arith(self):
+        e = IBin("+", IBin("*", IConst(2), IVar("x")), IConst(1))
+        assert ir_to_sym(e) == add(mul(2, var("x")), 1)
+
+    def test_array_ref(self):
+        e = IArrayRef("a", (IBin("-", IVar("i"), IConst(1)),))
+        assert ir_to_sym(e) == array_term("a", sub(var("i"), 1))
+
+    def test_div_mod(self):
+        assert ir_to_sym(IBin("/", IVar("x"), IConst(2))) == intdiv(var("x"), 2)
+        assert ir_to_sym(IBin("%", IVar("x"), IConst(8))) == mod(var("x"), 8)
+
+    def test_unsupported_is_bottom(self):
+        from repro.ir import ICall, IFloat
+
+        assert ir_to_sym(ICall("f", ())).is_bottom
+        assert ir_to_sym(IFloat(1.5)).is_bottom
+        assert ir_to_sym(IArrayRef("c", (IConst(0), IConst(1)))).is_bottom
+
+    def test_cond_atoms_conjunction(self):
+        e = IBin("&&", IBin("<", IVar("i"), IVar("n")), IBin(">=", IVar("j"), IConst(0)))
+        atoms, exact = cond_to_atoms(e)
+        assert exact and len(atoms) == 2
+
+    def test_cond_atoms_negation(self):
+        from repro.ir import IUn
+
+        e = IUn("!", IBin("<", IVar("i"), IVar("n")))
+        atoms, exact = cond_to_atoms(e)
+        assert exact and atoms[0].op == ">="
+
+    def test_cond_atoms_disjunction_inexact(self):
+        e = IBin("||", IBin("<", IVar("i"), IVar("n")), IBin(">", IVar("i"), IConst(0)))
+        atoms, exact = cond_to_atoms(e)
+        assert not exact
+
+
+class TestIrPrinter:
+    def test_emits_valid_reparseable_c(self, fig9_func):
+        out = function_to_c(fig9_func)
+        rebuilt = build_function(out)
+        assert [l.label for l in rebuilt.loops()] == [l.label for l in fig9_func.loops()]
+
+    def test_decreasing_loop_printed(self):
+        f = build_function("void f(int n, int a[]) { int i; for (i = n - 1; i >= 0; i--) a[i] = i; }")
+        out = function_to_c(f)
+        assert "i--" in out and "i > 0 - 1" in out

@@ -1,0 +1,159 @@
+"""Parallelizer tests: privatization, reductions, planning, codegen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import all_kernels
+from repro.ir import build_function
+from repro.parallelizer import (
+    ScalarClass,
+    analyze_scalars,
+    parallelize,
+    plan_function,
+)
+
+
+def scalars_of(src: str, label: str = "L1"):
+    f = build_function(src)
+    loop = f.loop(label)
+    return analyze_scalars(loop.body, loop.var, f.symtab)
+
+
+class TestPrivatization:
+    def test_written_before_read_is_private(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, t;"
+            " for (i = 0; i < n; i++) { t = a[i]; a[i] = t + 1; } }"
+        )
+        assert r.scalars["t"].klass is ScalarClass.PRIVATE
+        assert r.ok
+
+    def test_read_before_write_is_carried(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, t; t = 0;"
+            " for (i = 0; i < n; i++) { a[i] = t; t = a[i]; } }"
+        )
+        assert r.scalars["t"].klass is ScalarClass.CARRIED
+        assert not r.ok
+
+    def test_branch_both_sides_written_is_private(self):
+        r = scalars_of(
+            "void f(int n, int a[], int c[]) { int i, t;"
+            " for (i = 0; i < n; i++) {"
+            "   if (c[i]) { t = 1; } else { t = 2; } a[i] = t; } }"
+        )
+        assert r.scalars["t"].klass is ScalarClass.PRIVATE
+
+    def test_branch_one_side_then_read_is_carried(self):
+        r = scalars_of(
+            "void f(int n, int a[], int c[]) { int i, t; t = 0;"
+            " for (i = 0; i < n; i++) {"
+            "   if (c[i]) { t = 1; } a[i] = t; } }"
+        )
+        assert r.scalars["t"].klass is ScalarClass.CARRIED
+
+    def test_read_only_is_shared(self):
+        r = scalars_of(
+            "void f(int n, int m, int a[]) { int i;"
+            " for (i = 0; i < n; i++) { a[i] = m; } }"
+        )
+        assert r.scalars["m"].klass is ScalarClass.SHARED_READONLY
+
+    def test_inner_loop_var_is_private(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, j;"
+            " for (i = 0; i < n; i++) { for (j = 0; j < 4; j++) { a[i] = a[i] + 0; } } }"
+        )
+        assert r.scalars["j"].klass is ScalarClass.PRIVATE
+
+    def test_fig9_privates(self, fig9_func):
+        loop = fig9_func.loop("L3")
+        r = analyze_scalars(loop.body, loop.var, fig9_func.symtab)
+        assert r.private == ["j", "j1"]
+        assert r.ok
+
+
+class TestReductions:
+    def test_sum_reduction(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, s; s = 0;"
+            " for (i = 0; i < n; i++) { s = s + a[i]; } }"
+        )
+        assert r.scalars["s"].klass is ScalarClass.REDUCTION
+        assert r.scalars["s"].reduction_op == "+"
+
+    def test_product_reduction(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, s; s = 1;"
+            " for (i = 0; i < n; i++) { s = s * a[i]; } }"
+        )
+        assert r.scalars["s"].klass is ScalarClass.REDUCTION
+
+    def test_compound_assign_reduction(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, s; s = 0;"
+            " for (i = 0; i < n; i++) { s += a[i]; } }"
+        )
+        assert r.scalars["s"].klass is ScalarClass.REDUCTION
+
+    def test_reduction_var_otherwise_read_is_carried(self):
+        r = scalars_of(
+            "void f(int n, int a[]) { int i, s; s = 0;"
+            " for (i = 0; i < n; i++) { a[i] = s; s = s + a[i]; } }"
+        )
+        assert r.scalars["s"].klass is ScalarClass.CARRIED
+
+
+class TestPlannerAndCodegen:
+    def test_fig9_plan(self, fig9_func):
+        out = parallelize(FIG9 := all_kernels()["fig9_csr_product"].source)
+        assert out.parallel_loops == ["L3"]
+        assert out.plan.loops["L3"].pragma == "omp parallel for private(j,j1)"
+        assert not out.plan.loops["L1"].parallel
+        assert not out.plan.loops["L2"].parallel
+
+    def test_annotated_c_contains_pragma(self):
+        out = parallelize(all_kernels()["fig9_csr_product"].source)
+        assert "#pragma omp parallel for private(j,j1)" in out.annotated_c
+        # exactly one loop annotated
+        assert out.annotated_c.count("#pragma omp") == 1
+
+    def test_annotated_c_reparses(self):
+        out = parallelize(all_kernels()["fig9_csr_product"].source)
+        rebuilt = build_function(out.annotated_c)
+        assert any("omp parallel for" in p for l in rebuilt.loops() for p in l.pragmas)
+
+    def test_reduction_clause_emitted(self):
+        out = parallelize(
+            "void f(int n, int a[]) { int i, s; s = 0;"
+            " for (i = 0; i < n; i++) { s = s + a[i]; } }"
+        )
+        assert "reduction(+:s)" in out.annotated_c
+
+    def test_outer_parallel_stops_descent(self):
+        k = all_kernels()["fig6_csparse_simul"]
+        out = parallelize(k.source, assertions=k.assertion_env())
+        assert "L1" in out.parallel_loops
+        assert "L1.1" not in out.plan.loops  # not even planned
+
+    def test_nested_planning_when_outer_serial(self):
+        out = parallelize(all_kernels()["histogram_serial"].source)
+        assert "L1" in out.plan.loops and not out.plan.loops["L1"].parallel
+
+    def test_serial_loop_reason_mentions_array(self):
+        out = parallelize(all_kernels()["histogram_serial"].source)
+        assert "counts" in out.plan.loops["L1"].reason
+
+    def test_plan_description_renders(self):
+        out = parallelize(all_kernels()["fig9_csr_product"].source)
+        text = out.plan.describe()
+        assert "PARALLEL" in text and "serial" in text
+
+
+class TestMethodsThroughPipeline:
+    @pytest.mark.parametrize("method", ["gcd", "banerjee", "range"])
+    def test_baselines_parallelize_nothing_subscripted(self, method):
+        k = all_kernels()["fig9_csr_product"]
+        out = parallelize(k.source, method=method)
+        assert k.target_loop not in out.parallel_loops

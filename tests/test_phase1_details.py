@@ -1,0 +1,181 @@
+"""Focused tests for Phase 1 internals: abstract state evaluation,
+branch joins, conditional refinement, read-after-write, and the
+collapsed-summary application inside outer loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_function
+from repro.analysis.env import PropertyEnv
+from repro.analysis.phase1 import Phase1Analyzer
+from repro.ir import build_function
+from repro.symbolic import SymKind
+
+
+def effect_of(src: str, label: str = "L1", env: PropertyEnv | None = None):
+    f = build_function(src)
+    res = analyze_function(f, env)
+    return res.effect(label), res
+
+
+class TestScalarEffects:
+    def test_initial_lambda(self):
+        eff, _ = effect_of(
+            "void f(int n) { int i, x; for (i = 0; i < n; i++) { x = x + 1; } }"
+        )
+        r = eff.scalars["x"]
+        assert str(r) == "[λ(x) + 1]"
+
+    def test_fresh_assignment_forgets_lambda(self):
+        eff, _ = effect_of(
+            "void f(int n) { int i, x; for (i = 0; i < n; i++) { x = 3; x = x + 1; } }"
+        )
+        assert str(eff.scalars["x"]) == "[4]"
+
+    def test_loop_index_in_value(self):
+        eff, _ = effect_of(
+            "void f(int n) { int i, x; for (i = 0; i < n; i++) { x = 2 * i; } }"
+        )
+        assert str(eff.scalars["x"]) == "[2*i]"
+
+    def test_branch_join_widens(self):
+        eff, _ = effect_of(
+            "void f(int n, int c[]) { int i, x;"
+            " for (i = 0; i < n; i++) { if (c[i]) { x = 1; } else { x = 5; } } }"
+        )
+        assert str(eff.scalars["x"]) == "[1 : 5]"
+
+    def test_one_sided_branch_keeps_old_value(self):
+        eff, _ = effect_of(
+            "void f(int n, int c[]) { int i, x;"
+            " for (i = 0; i < n; i++) { if (c[i]) { x = 5; } } }"
+        )
+        # either the incoming λ(x) or 5
+        text = str(eff.scalars["x"])
+        assert "λ(x)" in text and "5" in text
+
+    def test_unknown_rhs_is_bottom(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[]) { int i, x;"
+            " for (i = 0; i < n; i++) { x = mystery(i); } }"
+        )
+        assert "x" in eff.bottom_scalars
+
+
+class TestArrayReads:
+    def test_read_after_write_same_index(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[], int b[]) { int i, x;"
+            " for (i = 0; i < n; i++) { a[i] = 7; x = a[i]; } }"
+        )
+        assert str(eff.scalars["x"]) == "[7]"
+
+    def test_read_of_other_index_stays_symbolic(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[]) { int i, x;"
+            " for (i = 1; i < n; i++) { x = a[i-1]; } }"
+        )
+        assert "a[i - 1]" in str(eff.scalars["x"])
+
+    def test_read_uses_env_value_range_with_section_check(self):
+        # first loop establishes s: [0:n-1] values [5:5]; second reads s[i]
+        src = (
+            "void f(int n, int s[], int x_out[]) { int i, x;"
+            " for (i = 0; i < n; i++) { s[i] = 5; }"
+            " for (i = 0; i < n; i++) { x = s[i]; x_out[i] = x; } }"
+        )
+        f = build_function(src)
+        res = analyze_function(f)
+        eff = res.effect("L2")
+        assert str(eff.scalars["x"]) == "[5]"
+
+    def test_out_of_section_read_not_substituted(self):
+        src = (
+            "void f(int n, int s[], int o[]) { int i, x;"
+            " for (i = 0; i < n; i++) { s[i] = 5; }"
+            " for (i = 0; i < n; i++) { x = s[i + n]; o[i] = x; } }"
+        )
+        f = build_function(src)
+        res = analyze_function(f)
+        eff = res.effect("L2")
+        assert "s[" in str(eff.scalars["x"])  # kept symbolic, not [5]
+
+
+class TestGuardsOnUpdates:
+    def test_guarded_update_not_always(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[], int c[]) { int i;"
+            " for (i = 0; i < n; i++) { if (c[i] > 0) { a[i] = 1; } } }"
+        )
+        upd = eff.updates["a"][0]
+        assert not upd.always
+        assert len(upd.guards) == 1 and upd.guards[0].op == ">"
+
+    def test_both_branches_same_index_becomes_must(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[], int c[]) { int i;"
+            " for (i = 0; i < n; i++) { if (c[i]) { a[i] = 1; } else { a[i] = 2; } } }"
+        )
+        upds = eff.updates["a"]
+        assert len(upds) == 1
+        assert upds[0].always
+        assert str(upds[0].value) == "[1 : 2]"
+
+    def test_different_indices_stay_separate(self):
+        eff, _ = effect_of(
+            "void f(int n, int a[], int c[]) { int i;"
+            " for (i = 1; i < n; i++) { if (c[i]) { a[i] = 1; } else { a[i-1] = 2; } } }"
+        )
+        assert len(eff.updates["a"]) == 2
+        assert all(not u.always for u in eff.updates["a"])
+
+
+class TestConditionalRefinement:
+    def test_equality_pins_scalar(self):
+        eff, _ = effect_of(
+            "void f(int n, int o[]) { int i, x, y;"
+            " for (i = 0; i < n; i++) { x = i; if (x == 0) { y = x + 1; } else { y = 9; } o[i] = y; } }"
+        )
+        # in the then-branch x was refined to 0, so y = 1 there
+        assert str(eff.scalars["y"]) == "[1 : 9]"
+
+    def test_inequality_narrows_range(self):
+        eff, _ = effect_of(
+            "void f(int n, int c[], int o[]) { int i, x, y;"
+            " for (i = 0; i < n; i++) { x = c[i];"
+            "   if (x >= 3) { y = 0; } else { y = x; } o[i] = y; } }"
+        )
+        # else-branch: x < 3, but x's lower bound is unknown → y unknown-lo
+        r = eff.scalars["y"]
+        assert r.has_finite_hi
+
+
+class TestCollapsedInnerLoops:
+    def test_inner_summary_applied(self):
+        eff, _ = effect_of(
+            "void f(int n, int m, int o[]) { int i, j, s;"
+            " for (i = 0; i < n; i++) { s = 0;"
+            "   for (j = 0; j < m; j++) { s = s + 1; } o[i] = s; } }"
+        )
+        assert str(eff.scalars["s"]) == "[m]"
+        upd = eff.updates["o"][0]
+        assert str(upd.value) == "[m]"
+
+    def test_inner_loop_var_final_value_visible(self):
+        eff, _ = effect_of(
+            "void f(int n, int m, int o[]) { int i, j;"
+            " for (i = 0; i < n; i++) { for (j = 0; j < m; j++) { o[j] = 1; } o[0] = j; } }"
+        )
+        # after the inner loop j == m; the write o[0] = j carries value m
+        upds = eff.updates["o"]
+        last = upds[-1]
+        assert str(last.value) == "[m]"
+
+    def test_arrays_written_by_inner_loop_are_opaque_outside(self):
+        eff, _ = effect_of(
+            "void f(int n, int m, int o[]) { int i, j, x;"
+            " for (i = 0; i < n; i++) { for (j = 0; j < m; j++) { o[j] = 1; } x = o[0]; } }"
+        )
+        # conservative: reading an array the collapsed loop wrote → unknown
+        assert "x" in eff.bottom_scalars or eff.scalars["x"].is_unknown

@@ -1,0 +1,279 @@
+"""Unit tests for the three-valued prover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.symbolic import (
+    ArrayFact,
+    FactEnv,
+    MonoDir,
+    POS_INF,
+    Prover,
+    Tri,
+    add,
+    array_term,
+    const,
+    fresh,
+    intdiv,
+    loopvar,
+    mod,
+    mul,
+    param,
+    prove_eq,
+    prove_le,
+    prove_lt,
+    prove_nonneg,
+    sub,
+    symrange,
+    tri_and,
+    tri_not,
+    tri_or,
+    var,
+)
+from repro.symbolic.facts import CompositeMonoFact
+
+
+class TestTriLogic:
+    def test_not(self):
+        assert tri_not(Tri.TRUE) is Tri.FALSE
+        assert tri_not(Tri.FALSE) is Tri.TRUE
+        assert tri_not(Tri.UNKNOWN) is Tri.UNKNOWN
+
+    def test_and(self):
+        assert tri_and(Tri.TRUE, Tri.TRUE) is Tri.TRUE
+        assert tri_and(Tri.TRUE, Tri.FALSE) is Tri.FALSE
+        assert tri_and(Tri.TRUE, Tri.UNKNOWN) is Tri.UNKNOWN
+
+    def test_or(self):
+        assert tri_or(Tri.FALSE, Tri.TRUE) is Tri.TRUE
+        assert tri_or(Tri.FALSE, Tri.FALSE) is Tri.FALSE
+        assert tri_or(Tri.UNKNOWN, Tri.FALSE) is Tri.UNKNOWN
+
+    def test_tri_is_not_a_bool(self):
+        with pytest.raises(TypeError):
+            bool(Tri.TRUE)
+
+
+class TestConstants:
+    def test_constant_comparisons(self):
+        assert prove_le(2, 3) is Tri.TRUE
+        assert prove_le(3, 3) is Tri.TRUE
+        assert prove_le(4, 3) is Tri.FALSE
+        assert prove_lt(3, 3) is Tri.FALSE
+        assert prove_eq(3, 3) is Tri.TRUE
+
+    def test_unconstrained_symbol_unknown(self):
+        assert prove_nonneg(var("x")) is Tri.UNKNOWN
+
+    def test_cancellation_without_facts(self):
+        x = var("x")
+        assert prove_le(x, add(x, 1)) is Tri.TRUE
+        assert prove_lt(add(x, 1), x) is Tri.FALSE
+
+
+class TestIntervalBounding:
+    def test_simple_range(self):
+        facts = FactEnv()
+        x = var("x")
+        facts.set_sym_range(x, symrange(0, 10))
+        p = Prover(facts)
+        assert p.nonneg(x) is Tri.TRUE
+        assert p.le(x, 10) is Tri.TRUE
+        assert p.le(x, 9) is Tri.UNKNOWN
+        assert p.nonneg(sub(x, 11)) is Tri.FALSE
+
+    def test_chained_ranges_cancel(self):
+        # i in [0, n-1] implies n - i - 1 >= 0 even with symbolic n
+        facts = FactEnv()
+        i, n = loopvar("i"), param("n")
+        facts.set_sym_range(i, symrange(0, sub(n, 1)))
+        p = Prover(facts)
+        assert p.nonneg(sub(sub(n, i), 1)) is Tri.TRUE
+
+    def test_correlated_two_symbol_ranges(self):
+        # i2 in [i1+1, n]: i2 - i1 - 1 >= 0 requires ranked elimination
+        facts = FactEnv()
+        i1, i2, n = fresh("i1"), fresh("i2"), param("n")
+        facts.set_sym_range(i1, symrange(0, n))
+        facts.set_sym_range(i2, symrange(add(i1, 1), n))
+        p = Prover(facts)
+        assert p.nonneg(sub(sub(i2, i1), 1)) is Tri.TRUE
+        assert p.lt(i1, i2) is Tri.TRUE
+
+    def test_mod_bounds(self):
+        facts = FactEnv()
+        x = var("x")
+        facts.set_sym_range(x, symrange(0, 100))
+        p = Prover(facts)
+        e = mod(x, 8)
+        assert p.nonneg(e) is Tri.TRUE
+        assert p.le(e, 7) is Tri.TRUE
+
+    def test_floordiv_bounds(self):
+        facts = FactEnv()
+        x = var("x")
+        facts.set_sym_range(x, symrange(0, 9))
+        p = Prover(facts)
+        assert p.le(intdiv(x, 2), 4) is Tri.TRUE
+        assert p.nonneg(intdiv(x, 2)) is Tri.TRUE
+
+
+class TestArrayFacts:
+    def test_value_range(self):
+        facts = FactEnv()
+        facts.set_array_fact("a", ArrayFact(value_range=symrange(0, 9)))
+        p = Prover(facts)
+        assert p.nonneg(array_term("a", var("k"))) is Tri.TRUE
+
+    def test_value_range_with_section_requires_containment(self):
+        facts = FactEnv()
+        facts.set_array_fact(
+            "a", ArrayFact(value_range=symrange(0, 9), section=symrange(0, 10))
+        )
+        k = var("k")
+        p = Prover(facts)
+        # k unconstrained: cannot use the sectioned fact
+        assert p.nonneg(array_term("a", k)) is Tri.UNKNOWN
+        facts.set_sym_range(k, symrange(2, 5))
+        p2 = Prover(facts)
+        assert p2.nonneg(array_term("a", k)) is Tri.TRUE
+
+    def test_identity_fact(self):
+        facts = FactEnv()
+        facts.set_array_fact("perm", ArrayFact(identity=True))
+        x = var("x")
+        facts.set_sym_range(x, symrange(1, 5))
+        p = Prover(facts)
+        assert p.nonneg(array_term("perm", x)) is Tri.TRUE
+
+
+class TestMonotonicity:
+    def _facts(self, direction: MonoDir) -> FactEnv:
+        facts = FactEnv()
+        facts.set_array_fact("r", ArrayFact(mono=direction))
+        return facts
+
+    def test_non_strict_increasing(self):
+        facts = self._facts(MonoDir.INC)
+        i = loopvar("i")
+        d = fresh("d")
+        facts.set_sym_range(d, symrange(1, POS_INF))
+        p = Prover(facts)
+        assert p.le(array_term("r", i), array_term("r", add(i, d))) is Tri.TRUE
+        # non-strict: cannot prove strict inequality
+        assert p.lt(array_term("r", i), array_term("r", add(i, d))) is Tri.UNKNOWN
+
+    def test_strict_increasing_gap(self):
+        facts = self._facts(MonoDir.STRICT_INC)
+        i = loopvar("i")
+        p = Prover(facts)
+        # strictly increasing integers: r[i+3] - r[i] >= 3
+        assert p.le(add(array_term("r", i), 3), array_term("r", add(i, 3))) is Tri.TRUE
+
+    def test_decreasing(self):
+        facts = self._facts(MonoDir.DEC)
+        i = loopvar("i")
+        p = Prover(facts)
+        assert p.ge(array_term("r", i), array_term("r", add(i, 2))) is Tri.TRUE
+
+    def test_monotone_fact_respects_section(self):
+        facts = FactEnv()
+        facts.set_array_fact("r", ArrayFact(mono=MonoDir.INC, section=symrange(0, 10)))
+        i = var("i")
+        p = Prover(facts)
+        # indices not provably inside [0, 10]: no conclusion
+        assert p.le(array_term("r", i), array_term("r", add(i, 1))) is Tri.UNKNOWN
+        facts.set_sym_range(i, symrange(0, 9))
+        p2 = Prover(facts)
+        assert p2.le(array_term("r", i), array_term("r", add(i, 1))) is Tri.TRUE
+
+    def test_scaled_pair(self):
+        facts = self._facts(MonoDir.INC)
+        i = loopvar("i")
+        p = Prover(facts)
+        e = sub(mul(7, array_term("r", add(i, 1))), mul(7, array_term("r", i)))
+        assert p.nonneg(e) is Tri.TRUE
+
+
+class TestCompositeMono:
+    def test_monotonic_difference(self):
+        facts = FactEnv()
+        facts.add_composite(
+            CompositeMonoFact(
+                terms=((1, "rowstr", 0), (-1, "nzloc", -1)), direction=MonoDir.INC
+            )
+        )
+        i1, i2 = fresh("i1"), fresh("i2")
+        n = param("n")
+        facts.set_sym_range(i1, symrange(0, n))
+        facts.set_sym_range(i2, symrange(add(i1, 1), n))
+        p = Prover(facts)
+        e = add(
+            array_term("rowstr", i2),
+            mul(-1, array_term("nzloc", sub(i2, 1))),
+            mul(-1, array_term("rowstr", add(i1, 1))),
+            array_term("nzloc", i1),
+        )
+        assert p.nonneg(e) is Tri.TRUE
+
+    def test_wrong_direction_unknown(self):
+        facts = FactEnv()
+        facts.add_composite(
+            CompositeMonoFact(
+                terms=((1, "rowstr", 0), (-1, "nzloc", -1)), direction=MonoDir.INC
+            )
+        )
+        i1, i2 = fresh("i1"), fresh("i2")
+        facts.set_sym_range(i1, symrange(0, 100))
+        facts.set_sym_range(i2, symrange(add(i1, 1), 100))
+        p = Prover(facts)
+        # reversed query: e(i1+1) - e(i2) could be negative
+        e = add(
+            array_term("rowstr", add(i1, 1)),
+            mul(-1, array_term("nzloc", i1)),
+            mul(-1, array_term("rowstr", i2)),
+            array_term("nzloc", sub(i2, 1)),
+        )
+        assert p.nonneg(e) is Tri.UNKNOWN
+
+
+class TestRangesDisjoint:
+    def test_disjoint_constant_ranges(self):
+        p = Prover()
+        assert p.ranges_disjoint(symrange(0, 4), symrange(5, 9)) is Tri.TRUE
+
+    def test_overlapping_constant_ranges(self):
+        p = Prover()
+        assert p.ranges_disjoint(symrange(0, 5), symrange(5, 9)) is Tri.FALSE
+
+    def test_rowptr_sections(self):
+        facts = FactEnv()
+        facts.set_array_fact("rowptr", ArrayFact(mono=MonoDir.INC))
+        i1, i2 = fresh("i1"), fresh("i2")
+        n = param("n")
+        facts.set_sym_range(i1, symrange(1, n))
+        facts.set_sym_range(i2, symrange(add(i1, 1), n))
+        p = Prover(facts)
+        r1 = symrange(array_term("rowptr", sub(i1, 1)), sub(array_term("rowptr", i1), 1))
+        r2 = symrange(array_term("rowptr", sub(i2, 1)), sub(array_term("rowptr", i2), 1))
+        assert p.ranges_disjoint(r1, r2) is Tri.TRUE
+
+
+class TestSoundnessGuards:
+    def test_never_proves_false_ordering(self):
+        # x in [0, 10]: the prover must not prove x <= 5 or x >= 5
+        facts = FactEnv()
+        x = var("x")
+        facts.set_sym_range(x, symrange(0, 10))
+        p = Prover(facts)
+        assert p.le(x, 5) is Tri.UNKNOWN
+        assert p.ge(x, 5) is Tri.UNKNOWN
+
+    def test_memoization_respects_fact_updates(self):
+        facts = FactEnv()
+        x = var("x")
+        p = Prover(facts)
+        assert p.nonneg(x) is Tri.UNKNOWN
+        facts.set_sym_range(x, symrange(0, 1))
+        assert p.nonneg(x) is Tri.TRUE  # version bump invalidates the memo

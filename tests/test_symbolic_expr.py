@@ -1,0 +1,264 @@
+"""Unit tests for the canonical symbolic expression algebra."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import (
+    BOTTOM,
+    Const,
+    NEG_INF,
+    POS_INF,
+    Sum,
+    add,
+    array_term,
+    as_linear,
+    big_lam,
+    const,
+    evaluate,
+    intdiv,
+    lam,
+    loopvar,
+    mod,
+    mul,
+    neg,
+    param,
+    smax,
+    smin,
+    sub,
+    var,
+)
+from repro.symbolic.expr import ArrayTerm, occurs_in
+
+
+class TestCanonicalization:
+    def test_like_terms_collect(self):
+        x = var("x")
+        assert add(x, mul(2, x), 3) == add(mul(3, x), 3)
+
+    def test_sub_cancels_to_zero(self):
+        x = var("x")
+        assert sub(x, x) == const(0)
+
+    def test_single_atom_collapses(self):
+        x = var("x")
+        assert add(x, 1, -1) is not None
+        assert add(x, 1, -1) == x  # no Sum wrapper around 1*x + 0
+
+    def test_array_term_indices_canonical(self):
+        i = loopvar("i")
+        a1 = array_term("a", add(add(i, 1), -1))
+        a2 = array_term("a", i)
+        assert a1 == a2
+
+    def test_constant_folding(self):
+        assert add(2, 3) == const(5)
+        assert mul(4, 5) == const(20)
+        assert mul(0, var("x")) == const(0)
+
+    def test_distribution(self):
+        x, y = var("x"), var("y")
+        e = mul(add(x, 1), add(y, 2))
+        # x*y + 2x + y + 2
+        assert e == add(mul(x, y), mul(2, x), y, 2)
+
+    def test_products_commute(self):
+        x, y = var("x"), var("y")
+        assert mul(x, y) == mul(y, x)
+
+    def test_negation(self):
+        x = var("x")
+        assert neg(neg(x)) == x
+        assert add(x, neg(x)) == const(0)
+
+    def test_str_rendering(self):
+        x = var("x")
+        assert str(add(mul(3, x), 3)) in ("3*x + 3", "3 + 3*x")
+        assert str(sub(var("a"), var("b"))) in ("a - b", "-b + a")
+
+    def test_deterministic_ordering(self):
+        e1 = add(var("b"), var("a"), var("c"))
+        e2 = add(var("c"), var("b"), var("a"))
+        assert str(e1) == str(e2)
+
+
+class TestBottomAndInf:
+    def test_bottom_absorbs_add(self):
+        assert add(var("x"), BOTTOM).is_bottom
+
+    def test_bottom_absorbs_mul(self):
+        assert mul(2, BOTTOM).is_bottom
+
+    def test_bottom_in_array_index(self):
+        assert array_term("a", BOTTOM).is_bottom
+
+    def test_same_infinities_add(self):
+        assert add(POS_INF, POS_INF) is POS_INF
+        assert add(NEG_INF, NEG_INF) is NEG_INF
+
+    def test_opposite_infinities_raise(self):
+        with pytest.raises(SymbolicError):
+            add(POS_INF, NEG_INF)
+
+    def test_inf_scaling(self):
+        assert mul(POS_INF, -2) is NEG_INF
+        assert mul(NEG_INF, -1) is POS_INF
+        assert mul(POS_INF, 0) == const(0)
+
+
+class TestSpecialSymbols:
+    def test_lambda_symbols_distinct_from_vars(self):
+        assert lam("x") != var("x")
+        assert big_lam("x") != var("x")
+        assert lam("x") != big_lam("x")
+
+    def test_lambda_rendering(self):
+        assert str(lam("count")) == "λ(count)"
+        assert str(big_lam("count")) == "Λ(count)"
+        assert str(BOTTOM) == "⊥"
+
+    def test_param_and_loopvar_kinds(self):
+        assert param("N") != var("N")
+        assert loopvar("i") != var("i")
+
+
+class TestDivMod:
+    def test_const_fold_c_semantics(self):
+        assert intdiv(7, 2) == const(3)
+        assert intdiv(-7, 2) == const(-3)  # trunc toward zero
+        assert mod(7, 2) == const(1)
+        assert mod(-7, 2) == const(-1)  # sign of dividend
+
+    def test_div_by_one(self):
+        assert intdiv(var("x"), 1) == var("x")
+
+    def test_div_by_zero_is_bottom(self):
+        assert intdiv(var("x"), 0).is_bottom
+        assert mod(var("x"), 0).is_bottom
+
+    def test_symbolic_stays_opaque(self):
+        e = mod(var("x"), 8)
+        assert not e.is_bottom
+        assert "%" in str(e)
+
+
+class TestMinMax:
+    def test_const_folding(self):
+        assert smin(3, 5) == const(3)
+        assert smax(3, 5) == const(5)
+
+    def test_constant_offset_domination(self):
+        x = var("x")
+        assert smin(x, add(x, 1)) == x
+        assert smax(x, add(x, 1)) == add(x, 1)
+
+    def test_flattening(self):
+        x, y, z = var("x"), var("y"), var("z")
+        assert smin(smin(x, y), z) == smin(x, y, z)
+
+    def test_identity_elements(self):
+        x = var("x")
+        assert smin(x, POS_INF) == x
+        assert smax(x, NEG_INF) == x
+
+    def test_absorbing_elements(self):
+        assert smin(var("x"), NEG_INF) is NEG_INF
+        assert smax(var("x"), POS_INF) is POS_INF
+
+
+class TestAsLinear:
+    def test_simple(self):
+        i = loopvar("i")
+        a, b = as_linear(add(mul(3, i), 7), i)
+        assert a == const(3)
+        assert b == const(7)
+
+    def test_absent_symbol(self):
+        i = loopvar("i")
+        a, b = as_linear(var("x"), i)
+        assert a == const(0)
+        assert b == var("x")
+
+    def test_array_term_atom(self):
+        i = loopvar("i")
+        at = ArrayTerm("rowptr", sub(i, 1))
+        e = add(at, var("t"))
+        a, b = as_linear(e, at)
+        assert a == const(1)
+        assert b == var("t")
+
+    def test_nested_occurrence_rejected(self):
+        i = loopvar("i")
+        e = array_term("a", i)  # i occurs inside the atom
+        assert as_linear(e, i) is None
+
+    def test_quadratic_rejected(self):
+        i = loopvar("i")
+        assert as_linear(mul(i, i), i) is None
+
+    def test_bottom_rejected(self):
+        assert as_linear(BOTTOM, loopvar("i")) is None
+
+
+class TestOccursIn:
+    def test_direct(self):
+        i = loopvar("i")
+        assert occurs_in(i, add(i, 1))
+
+    def test_inside_array_index(self):
+        i = loopvar("i")
+        assert occurs_in(i, array_term("a", add(i, 2)))
+
+    def test_inside_opaque(self):
+        i = loopvar("i")
+        assert occurs_in(i, mod(i, 8))
+
+    def test_absent(self):
+        assert not occurs_in(loopvar("i"), add(var("x"), 1))
+
+
+class TestEvaluate:
+    def test_linear(self):
+        x = var("x")
+        assert evaluate(add(mul(3, x), 2), {x: 5}) == Fraction(17)
+
+    def test_minmax(self):
+        x = var("x")
+        assert evaluate(smin(x, const(3)), {x: 10}) == Fraction(3)
+        assert evaluate(smax(x, const(3)), {x: 10}) == Fraction(10)
+
+    def test_div_mod_c_semantics(self):
+        x = var("x")
+        assert evaluate(intdiv(x, const(2)), {x: -7}) == Fraction(-3)
+        assert evaluate(mod(x, const(2)), {x: -7}) == Fraction(-1)
+
+    def test_unbound_raises(self):
+        with pytest.raises(SymbolicError):
+            evaluate(var("x"), {})
+
+    def test_bottom_raises(self):
+        with pytest.raises(SymbolicError):
+            evaluate(BOTTOM, {})
+
+
+class TestSubstitution:
+    def test_sym_substitution(self):
+        x, y = var("x"), var("y")
+        e = add(mul(2, x), 1)
+        out = e.subst(lambda a: y if a == x else None)
+        assert out == add(mul(2, y), 1)
+
+    def test_array_index_substitution(self):
+        i, j = loopvar("i"), loopvar("j")
+        e = array_term("a", add(i, 1))
+        out = e.subst(lambda a: j if a == i else None)
+        assert out == array_term("a", add(j, 1))
+
+    def test_substitute_to_bottom_propagates(self):
+        i = loopvar("i")
+        e = array_term("a", i)
+        out = e.subst(lambda a: BOTTOM if a == i else None)
+        assert out.is_bottom

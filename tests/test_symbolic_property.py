@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the symbolic layer.
+
+Three soundness pillars:
+
+1. canonicalization is meaning-preserving under random concrete models;
+2. range arithmetic is sound (concrete results stay inside result ranges);
+3. the prover never affirms a false ordering (checked against random
+   concrete models that satisfy the declared facts).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.symbolic import (
+    FactEnv,
+    Prover,
+    SymRange,
+    Tri,
+    add,
+    const,
+    evaluate,
+    mul,
+    neg,
+    smax,
+    smin,
+    sub,
+    symrange,
+    var,
+)
+from repro.symbolic.facts import ArrayFact, MonoDir
+from repro.symbolic.expr import array_term
+
+VARS = [var(n) for n in "xyzw"]
+
+
+@st.composite
+def expr_and_env(draw, depth: int = 3):
+    """A random expression plus a concrete binding for its variables."""
+    env = {v: draw(st.integers(-50, 50)) for v in VARS}
+
+    def build(d: int):
+        if d == 0:
+            return draw(
+                st.one_of(
+                    st.sampled_from(VARS),
+                    st.integers(-9, 9).map(const),
+                )
+            )
+        op = draw(st.sampled_from(["add", "sub", "mul", "neg", "min", "max"]))
+        if op == "neg":
+            return neg(build(d - 1))
+        a, b = build(d - 1), build(d - 1)
+        if op == "add":
+            return add(a, b)
+        if op == "sub":
+            return sub(a, b)
+        if op == "mul":
+            # keep one side small to avoid huge products
+            return mul(a, draw(st.integers(-3, 3)))
+        if op == "min":
+            return smin(a, b)
+        return smax(a, b)
+
+    return build(depth), env
+
+
+class TestCanonicalizationMeaning:
+    @given(expr_and_env())
+    @settings(max_examples=200, deadline=None)
+    def test_add_commutes_with_evaluation(self, pair):
+        e, env = pair
+        v = evaluate(e, env)
+        # rebuilding the same expression must not change its value
+        assert evaluate(add(e, 0), env) == v
+        assert evaluate(mul(e, 1), env) == v
+        assert evaluate(sub(add(e, 7), 7), env) == v
+
+    @given(expr_and_env(), expr_and_env())
+    @settings(max_examples=150, deadline=None)
+    def test_ring_laws(self, p1, p2):
+        e1, env1 = p1
+        e2, env2 = p2
+        env = {**env1, **env2}
+        assert evaluate(add(e1, e2), env) == evaluate(e1, env) + evaluate(e2, env)
+        assert evaluate(sub(e1, e2), env) == evaluate(e1, env) - evaluate(e2, env)
+
+    @given(expr_and_env())
+    @settings(max_examples=100, deadline=None)
+    def test_structural_equality_implies_semantic(self, pair):
+        e, env = pair
+        e2 = add(mul(e, 2), neg(e))  # 2e - e == e
+        assert evaluate(e2, env) == evaluate(e, env)
+
+
+class TestRangeSoundness:
+    @given(
+        st.integers(-20, 20),
+        st.integers(0, 20),
+        st.integers(-20, 20),
+        st.integers(0, 20),
+        st.integers(-5, 5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_sub_scale(self, lo1, w1, lo2, w2, k):
+        r1 = symrange(lo1, lo1 + w1)
+        r2 = symrange(lo2, lo2 + w2)
+        for a in (lo1, lo1 + w1):
+            for b in (lo2, lo2 + w2):
+                s = r1 + r2
+                assert s.contains_value(a + b, {})
+                d = r1 - r2
+                assert d.contains_value(a - b, {})
+                if k != 0:
+                    scaled = r1.scale_const(k)
+                    assert scaled.contains_value(a * k, {})
+
+    @given(st.integers(-20, 20), st.integers(0, 10), st.integers(-20, 20), st.integers(0, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_join_contains_both(self, lo1, w1, lo2, w2):
+        r1 = symrange(lo1, lo1 + w1)
+        r2 = symrange(lo2, lo2 + w2)
+        j = r1.join(r2)
+        for v in (lo1, lo1 + w1, lo2, lo2 + w2):
+            assert j.contains_value(v, {})
+
+    @given(st.integers(-10, 10), st.integers(0, 10), st.integers(-3, 3), st.integers(0, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_mul_range(self, lo1, w1, lo2, w2):
+        r1 = symrange(lo1, lo1 + w1)
+        r2 = symrange(lo2, lo2 + w2)
+        m = r1.mul_range(r2)
+        for a in (lo1, lo1 + w1):
+            for b in (lo2, lo2 + w2):
+                assert m.contains_value(a * b, {})
+
+
+class TestProverSoundness:
+    @given(expr_and_env(), expr_and_env())
+    @settings(max_examples=200, deadline=None)
+    def test_no_false_orderings_without_facts(self, p1, p2):
+        e1, env1 = p1
+        e2, env2 = p2
+        env = {**env1, **env2}
+        p = Prover()
+        verdict = p.le(e1, e2)
+        v1, v2 = evaluate(e1, env), evaluate(e2, env)
+        if verdict is Tri.TRUE:
+            assert v1 <= v2
+        elif verdict is Tri.FALSE:
+            assert v1 > v2
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=3, max_size=10),
+        st.integers(0, 9),
+        st.integers(0, 9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_fact_conclusions_hold(self, increments, ia, ib):
+        """Build a concrete monotone array; every TRUE the prover gives
+        about r[ia] vs r[ib] must hold in the concrete model."""
+        concrete = [0]
+        for inc in increments:
+            concrete.append(concrete[-1] + inc)
+        n = len(concrete)
+        ia %= n
+        ib %= n
+        facts = FactEnv()
+        facts.set_array_fact("r", ArrayFact(mono=MonoDir.INC))
+        p = Prover(facts)
+        e1 = array_term("r", const(ia))
+        e2 = array_term("r", const(ib))
+        verdict = p.le(e1, e2)
+        if verdict is Tri.TRUE:
+            assert concrete[ia] <= concrete[ib]
+        elif verdict is Tri.FALSE:
+            assert concrete[ia] > concrete[ib]
+
+    @given(st.integers(0, 30), st.integers(1, 10), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_range_facts_sound(self, lo, width, data):
+        facts = FactEnv()
+        x = var("x")
+        facts.set_sym_range(x, symrange(lo, lo + width))
+        concrete = data.draw(st.integers(lo, lo + width))
+        p = Prover(facts)
+        for bound in (lo - 1, lo, lo + width, lo + width + 1):
+            verdict = p.le(x, const(bound))
+            if verdict is Tri.TRUE:
+                assert concrete <= bound
+            elif verdict is Tri.FALSE:
+                assert concrete > bound

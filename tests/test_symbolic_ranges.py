@@ -1,0 +1,152 @@
+"""Unit tests for symbolic ranges and range substitution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.symbolic import (
+    NEG_INF,
+    POS_INF,
+    SymRange,
+    UNKNOWN_RANGE,
+    add,
+    const,
+    mul,
+    param,
+    sub,
+    symrange,
+    var,
+)
+from repro.symbolic.ranges import range_subst, range_subst_range
+
+
+class TestConstruction:
+    def test_point(self):
+        r = SymRange.point(5)
+        assert r.is_point
+        assert str(r) == "[5]"
+
+    def test_bottom_endpoint_normalizes_to_inf(self):
+        from repro.symbolic import BOTTOM
+
+        r = symrange(BOTTOM, 5)
+        assert r.lo is NEG_INF
+
+    def test_unknown(self):
+        assert UNKNOWN_RANGE.is_unknown
+        assert SymRange.point(var("x")).is_unknown is False
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert str(symrange(0, 5) + symrange(2, 3)) == "[2 : 8]"
+
+    def test_add_scalar(self):
+        assert str(symrange(0, 5) + 1) == "[1 : 6]"
+
+    def test_sub(self):
+        r = symrange(4, 6) - symrange(1, 2)
+        assert str(r) == "[2 : 5]"
+
+    def test_neg(self):
+        assert str(-symrange(1, 3)) == "[-3 : -1]"
+
+    def test_scale_positive(self):
+        assert str(symrange(1, 3).scale_const(2)) == "[2 : 6]"
+
+    def test_scale_negative_swaps(self):
+        assert str(symrange(1, 3).scale_const(-1)) == "[-3 : -1]"
+
+    def test_scale_zero(self):
+        assert symrange(1, 3).scale_const(0).is_point
+
+    def test_mul_const_ranges(self):
+        r = symrange(-2, 3).mul_range(symrange(4, 5))
+        assert str(r) == "[-10 : 15]"
+
+    def test_mul_symbolic_falls_back(self):
+        r = symrange(0, var("n")).mul_range(symrange(0, var("m")))
+        assert r.is_unknown
+
+    def test_infinite_endpoint_arithmetic(self):
+        r = symrange(0, POS_INF) + 5
+        assert r.hi is POS_INF
+        assert str(r.lo) == "5"
+
+
+class TestLattice:
+    def test_join_constants(self):
+        assert str(symrange(0, 2).join(symrange(5, 9))) == "[0 : 9]"
+
+    def test_join_with_symbolic_offset(self):
+        x = var("x")
+        a = SymRange.point(x)
+        b = SymRange.point(add(x, 1))
+        assert str(a.join(b)) == "[x : x + 1]"
+
+    def test_meet(self):
+        assert str(symrange(0, 9).meet(symrange(5, 20))) == "[5 : 9]"
+
+    def test_widen_keeps_stable_bounds(self):
+        a = symrange(0, 5)
+        b = symrange(0, 7)
+        w = a.widen(b)
+        assert str(w.lo) == "0"
+        assert w.hi is POS_INF
+
+
+class TestContainsValue:
+    def test_concrete(self):
+        n = param("n")
+        r = symrange(0, sub(n, 1))
+        assert r.contains_value(3, {n: 10})
+        assert not r.contains_value(10, {n: 10})
+
+    def test_unbounded(self):
+        assert UNKNOWN_RANGE.contains_value(12345, {})
+
+
+class TestRangeSubst:
+    def test_single_atom_lo_hi(self):
+        i = param("i")
+        e = add(mul(2, i), 1)
+        m = {i: symrange(0, 5)}
+        assert str(range_subst(e, m, "lo")) == "1"
+        assert str(range_subst(e, m, "hi")) == "11"
+
+    def test_negative_coeff_flips_side(self):
+        i = param("i")
+        e = mul(-1, i)
+        m = {i: symrange(0, 5)}
+        assert str(range_subst(e, m, "lo")) == "-5"
+        assert str(range_subst(e, m, "hi")) == "0"
+
+    def test_unmapped_atoms_stay(self):
+        i, n = param("i"), param("n")
+        e = add(i, n)
+        m = {i: symrange(0, 2)}
+        assert str(range_subst(e, m, "hi")) == "n + 2"
+
+    def test_nested_in_array_index_point_only(self):
+        from repro.symbolic import array_term
+
+        i = param("i")
+        e = array_term("a", i)
+        # point range substitutes inside the index
+        out = range_subst(e, {i: SymRange.point(3)}, "lo")
+        assert str(out) == "a[3]"
+        # non-point range inside an index is not representable
+        out2 = range_subst(e, {i: symrange(0, 5)}, "lo")
+        assert out2 is NEG_INF
+
+    def test_range_subst_range(self):
+        lam = param("L")
+        r = symrange(lam, add(lam, 3))
+        out = range_subst_range(r, {lam: symrange(0, 2)})
+        assert str(out) == "[0 : 5]"
+
+    def test_product_of_nonpoint_ranges_gives_inf(self):
+        x, y = param("x"), param("y")
+        e = mul(x, y)
+        out = range_subst(e, {x: symrange(0, 1), y: symrange(0, 1)}, "hi")
+        assert out is POS_INF

@@ -1,0 +1,180 @@
+"""Workload tests: generator invariants, CSR assembly equivalence, the
+CG solver, and the UA/CSparse kernel twins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    CG_CLASSES,
+    assemble_csr,
+    build_matrix,
+    cg_benchmark,
+    csr_from_dense,
+    is_injective,
+    is_monotonic,
+    make_sparse_rows,
+    scaled_class,
+    spmv,
+    spmv_numpy,
+)
+from repro.workloads import csparse_kernels, generators, npb_ua
+from repro.workloads.npb_cg import CGClass, conj_grad, product_loop_serial
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_injective_map_is_permutation(self, seed):
+        m = generators.injective_map(50, seed)
+        assert is_injective(m)
+        assert sorted(m) == list(range(50))
+
+    def test_non_injective_map_has_duplicate(self):
+        m = generators.non_injective_map(50, 3)
+        assert not is_injective(m)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_monotonic_rowptr(self, seed):
+        r = generators.monotonic_rowptr(30, seed=seed)
+        assert is_monotonic(r)
+        assert r[0] == 0
+
+    def test_corrupted_rowptr_not_monotonic(self):
+        r = generators.corrupted_rowptr(30, seed=2)
+        assert not is_monotonic(r)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rowstr_nzloc_difference_monotonic(self, seed):
+        rowstr, nzloc = generators.rowstr_nzloc(20, seed=seed)
+        e = [int(rowstr[j]) - (int(nzloc[j - 1]) if j > 0 else 0) for j in range(20)]
+        e.append(int(rowstr[20]) - int(nzloc[19]))
+        assert all(e[i] <= e[i + 1] for i in range(len(e) - 1))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_jmatch_nonneg_subset_injective(self, seed):
+        jm = generators.jmatch_partial(40, seed=seed)
+        nonneg = jm[jm >= 0]
+        assert is_injective(nonneg)
+
+    def test_blocks_r_p(self):
+        r, p = generators.blocks_r_p(40, 5, 0)
+        assert is_monotonic(r) and r[0] == 0 and r[-1] == 40
+        assert is_injective(p)
+
+    def test_ua_refinement_invariants(self):
+        d = generators.ua_refinement(30, 10, 0)
+        assert is_injective(d["action"])
+        assert is_injective(d["mt_to_id_old"])
+        assert is_monotonic(d["front"], strict=True)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(WorkloadError):
+            generators.blocks_r_p(3, 10)
+        with pytest.raises(WorkloadError):
+            generators.ua_refinement(3, 10)
+
+
+class TestCsrAssembly:
+    def test_csr_from_dense_matches_scipy(self):
+        a = generators.sparse_dense_matrix(12, 9, 0.4, seed=5)
+        rowsize, rowptr, colnum, vals = csr_from_dense(a)
+        import scipy.sparse as sp
+
+        ref = sp.csr_matrix(a)
+        assert np.array_equal(rowptr, ref.indptr)
+        assert np.array_equal(colnum, ref.indices)
+        assert np.array_equal(vals, ref.data)
+        assert is_monotonic(rowptr)
+
+    def test_assemble_csr_monotone_and_diagonal(self):
+        cls = CGClass("T", 60, 4, 5, 7.5)
+        rows_cols, rows_vals = make_sparse_rows(cls.na, cls.nonzer, seed=9)
+        rowptr, colidx, values = assemble_csr(rows_cols, rows_vals, cls.shift)
+        assert is_monotonic(rowptr)
+        A = build_matrix(cls, seed=9)
+        d = A.diagonal()
+        assert np.all(d >= cls.shift - 1.0)  # shift dominates the diagonal
+
+    def test_spmv_python_equals_numpy(self):
+        a = generators.sparse_dense_matrix(10, 10, 0.3, seed=1).astype(np.float64)
+        _, rowptr, colidx, vals = csr_from_dense(a)
+        x = np.random.default_rng(0).random(10)
+        assert np.allclose(spmv(rowptr, colidx, vals, x), spmv_numpy(rowptr, colidx, vals, x))
+
+    def test_product_loop_serial_matches_vectorized(self):
+        a = generators.sparse_dense_matrix(8, 12, 0.5, seed=2)
+        _, rowptr, _, vals = csr_from_dense(a)
+        nnz = int(rowptr[-1])
+        vec = np.arange(nnz, dtype=np.float64) + 1
+        out = product_loop_serial(rowptr, vals.astype(np.float64), vec)
+        assert np.allclose(out, vals[:nnz] * vec)
+
+
+class TestCgSolver:
+    def test_classes_table(self):
+        assert CG_CLASSES["A"].na == 14000 and CG_CLASSES["A"].nonzer == 11
+        assert CG_CLASSES["B"].na == 75000 and CG_CLASSES["B"].niter == 75
+        assert CG_CLASSES["C"].shift == 110.0
+
+    def test_estimated_nnz_scales(self):
+        assert CG_CLASSES["B"].estimated_nnz() > CG_CLASSES["A"].estimated_nnz()
+
+    def test_scaled_class(self):
+        c = scaled_class("A", 0.01, niter=3)
+        assert c.na == 140 and c.niter == 3
+
+    def test_conj_grad_reduces_residual(self):
+        cls = CGClass("T", 120, 5, 3, 15.0)
+        A = build_matrix(cls, seed=4)
+        x = np.ones(cls.na)
+        z, rnorm = conj_grad(A, x)
+        assert rnorm < np.linalg.norm(x) * 0.1
+
+    def test_cg_benchmark_zeta_converges(self):
+        cls = CGClass("T", 150, 5, 8, 12.0)
+        A = build_matrix(cls, seed=8)
+        result = cg_benchmark(A, cls.niter, cls.shift)
+        tail = result.zeta_history[-3:]
+        # zeta settles near shift + 1/λ_max (power-method convergence)
+        assert max(tail) - min(tail) < 0.05 * abs(tail[-1])
+        assert np.isfinite(result.zeta)
+
+
+class TestKernelTwins:
+    def test_invert_map_roundtrip(self):
+        m = generators.injective_map(25, 3)
+        inv = npb_ua.invert_map(m)
+        for miel in range(25):
+            assert inv[m[miel]] == miel
+
+    def test_invert_matching_ignores_negative(self):
+        jm = generators.jmatch_partial(30, seed=4)
+        im = csparse_kernels.invert_matching(jm, 30)
+        for i in range(30):
+            if jm[i] >= 0:
+                assert im[jm[i]] == i
+
+    def test_scatter_block_ids_partition(self):
+        r, p = generators.blocks_r_p(36, 4, 2)
+        blk = csparse_kernels.scatter_block_ids(r, p, 36)
+        assert set(blk) == set(range(4))
+        counts = np.bincount(blk)
+        assert np.array_equal(counts, np.diff(r))
+
+    def test_transfer_tree_blocks_disjoint(self):
+        d = generators.ua_refinement(20, 6, 5)
+        action = np.sort(d["action"])
+        front = d["front"]
+        size = 7 * (int(front.max()) + 1) + 8
+        tree = npb_ua.transfer_tree(action, d["mt_to_id_old"], front, 7, 3, size)
+        # written blocks carry the ntemp + (i+1)%8 pattern
+        written = np.flatnonzero(tree)
+        assert len(written) >= 6 * 7 - 6  # blocks are disjoint (one zero value per block possible)
+
+    def test_remap_elements_injective_targets(self):
+        d = generators.ua_refinement(15, 5, 6)
+        mt, ref = npb_ua.remap_elements(d["mt_to_id_old"], d["front"], d["ich"], 15)
+        hits = np.flatnonzero(mt >= 0)
+        assert len(hits) == 15  # all 15 writes landed on distinct slots
