@@ -3,16 +3,19 @@
 The paper argues compile-time analysis beats inspector/executor schemes
 because it has *zero runtime overhead*; the flip side is compile-time
 cost, quantified here: wall-clock per kernel for the full pipeline
-(parse → IR → two-phase analysis → dependence tests → planning).
+(parse → IR → two-phase analysis → dependence tests → planning), driven
+through the batch service (:mod:`repro.service`).
+
+Per-kernel timings use a fresh cache so they measure *cold* analysis;
+the summary sweep runs one cold batch and prints the engine's own
+timing table.
 """
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from repro.parallelizer import parallelize
+from repro.service import AnalysisRequest, BatchEngine, ResultCache
 from repro.utils.tables import Table
 
 KERNEL_NAMES = [
@@ -27,30 +30,33 @@ KERNEL_NAMES = [
 ]
 
 
+def _request(kernels, name: str) -> AnalysisRequest:
+    return AnalysisRequest(name=name, source=kernels[name].source, kernel=name)
+
+
 @pytest.mark.parametrize("name", KERNEL_NAMES)
 def test_analysis_cost(benchmark, kernels, name):
     k = kernels[name]
+    req = _request(kernels, name)
 
     def pipeline():
-        return parallelize(k.source, assertions=k.assertion_env())
+        # fresh cache: measure the cold pipeline, not a cache lookup
+        return BatchEngine(cache=ResultCache()).analyze(req)
 
-    out = benchmark(pipeline)
-    assert (k.target_loop in out.parallel_loops) == k.expect_parallel
+    verdict = benchmark(pipeline)
+    assert verdict.ok
+    assert (k.target_loop in verdict.parallel_loops) == k.expect_parallel
 
 
 def test_analysis_cost_summary(benchmark, kernels):
-    def sweep():
-        rows = []
-        for name in KERNEL_NAMES:
-            k = kernels[name]
-            t0 = time.perf_counter()
-            parallelize(k.source, assertions=k.assertion_env())
-            rows.append((name, (time.perf_counter() - t0) * 1e3))
-        return rows
+    requests = [_request(kernels, name) for name in KERNEL_NAMES]
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    t = Table(["kernel", "pipeline ms"], title="Compile-time cost (single run)")
-    for name, ms in rows:
-        t.add_row(name, f"{ms:.1f}")
+    def sweep():
+        return BatchEngine(cache=ResultCache()).run(requests)
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(["kernel", "pipeline ms"], title="Compile-time cost (single cold batch)")
+    for v in report.verdicts:
+        t.add_row(v.name, f"{v.seconds * 1e3:.1f}")
     print()
     print(t.render())

@@ -1,0 +1,106 @@
+"""TAB-BATCH — throughput of the batch analysis service.
+
+Quantifies the two levers the service adds over the one-kernel library
+pipeline:
+
+* **caching** — a warm batch over the full built-in corpus must beat the
+  sequential cold batch by a wide margin (cache hits skip parse,
+  analysis, dependence testing and planning entirely), and this holds
+  with any ``jobs`` setting because a fully warm batch never spawns a
+  worker pool;
+* **parallel workers** — on a corpus large enough to amortize pool
+  startup (synthesized by the differential-fuzz kernel generator),
+  ``jobs=4`` must not lose to sequential cold analysis, and its scaling
+  is printed for inspection.
+
+Reports must stay byte-identical across all configurations — that
+invariant is asserted here too (and tested exhaustively in
+``tests/test_service_cache.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service import AnalysisRequest, BatchEngine, ResultCache, corpus_requests
+from repro.utils.tables import Table
+from repro.workloads.generators import random_kernel
+
+
+def _timed(engine: BatchEngine, requests) -> tuple[float, "object"]:
+    t0 = time.perf_counter()
+    report = engine.run(requests)
+    return time.perf_counter() - t0, report
+
+
+def test_warm_cache_beats_sequential_cold(benchmark, tmp_path):
+    """Acceptance: full corpus, ``jobs=4`` + warm cache vs sequential cold."""
+    from repro.symbolic import expr as symexpr
+
+    requests = corpus_requests()
+    symexpr.clear_memo_tables()  # honest cold run: no symbolic memo carry-over
+    cold_seconds, cold = _timed(BatchEngine(jobs=1, cache=ResultCache()), requests)
+    memo = symexpr.memo_stats()
+
+    warm_engine = BatchEngine(jobs=4, cache=ResultCache(cache_dir=tmp_path))
+    warm_engine.run(requests)  # populate
+
+    warm_seconds, warm = _timed(warm_engine, requests)
+    benchmark.pedantic(warm_engine.run, args=(requests,), rounds=3, iterations=1)
+
+    t = Table(["configuration", "ms"], title="Batch service: full built-in corpus")
+    t.add_row("sequential cold (jobs=1, empty cache)", f"{cold_seconds * 1e3:.1f}")
+    t.add_row("warm cache (jobs=4)", f"{warm_seconds * 1e3:.1f}")
+    print()
+    print(t.render())
+    print(
+        f"symbolic memo during cold run: {memo['hits']} hits / "
+        f"{memo['misses']} misses ({memo['entries']} entries)"
+    )
+
+    assert warm.canonical_json() == cold.canonical_json()
+    assert all(v.from_cache for v in warm.verdicts)
+    assert warm_seconds < cold_seconds / 2, (
+        f"warm batch ({warm_seconds * 1e3:.1f} ms) not measurably faster than "
+        f"sequential cold ({cold_seconds * 1e3:.1f} ms)"
+    )
+
+
+@pytest.mark.measured
+def test_parallel_workers_scale_on_large_corpus(benchmark):
+    """Cold analysis of a fuzz-generated corpus: jobs=4 vs jobs=1."""
+    requests = [
+        AnalysisRequest(name=f"fuzz{s}", source=random_kernel(s).source)
+        for s in range(80)
+    ]
+    seq_seconds, seq = _timed(BatchEngine(jobs=1, cache=ResultCache()), requests)
+    par_seconds, par = _timed(BatchEngine(jobs=4, cache=ResultCache()), requests)
+    benchmark.pedantic(
+        lambda: BatchEngine(jobs=4, cache=ResultCache()).run(requests),
+        rounds=1,
+        iterations=1,
+    )
+
+    t = Table(["configuration", "ms", "speedup"], title="Batch service: 80 fuzz kernels, cold")
+    t.add_row("jobs=1", f"{seq_seconds * 1e3:.1f}", "1.00x")
+    t.add_row("jobs=4", f"{par_seconds * 1e3:.1f}", f"{seq_seconds / par_seconds:.2f}x")
+    print()
+    print(t.render())
+
+    assert par.canonical_json() == seq.canonical_json()
+    # pool startup must be amortized at this corpus size: parallel cold
+    # analysis may not *lose* to sequential cold analysis.  On a
+    # single-CPU host no speedup is physically possible, so the timing
+    # check only applies where the hardware can show one.
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    if cpus and cpus > 1:
+        assert par_seconds < seq_seconds * 1.10, (
+            f"jobs=4 ({par_seconds * 1e3:.1f} ms) slower than jobs=1 "
+            f"({seq_seconds * 1e3:.1f} ms) on {cpus} CPUs"
+        )
+    else:
+        print(f"(single-CPU host: parallel speedup not asserted, ratio "
+              f"{seq_seconds / par_seconds:.2f}x)")

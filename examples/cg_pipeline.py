@@ -16,8 +16,8 @@ Run:  python examples/cg_pipeline.py
 import numpy as np
 
 from repro.corpus import all_kernels
-from repro.parallelizer import parallelize
 from repro.runtime import measure_spmv_speedup
+from repro.service import AnalysisRequest, BatchEngine
 from repro.utils.tables import Table
 from repro.workloads import build_matrix, cg_benchmark, scaled_class
 from repro.workloads.sparse import random_csr
@@ -35,13 +35,24 @@ def main() -> None:
 
     print()
     print("compiler verdicts on the CG kernels (paper Figures 3, 4, 9):")
-    t = Table(["kernel", "gcd", "banerjee", "range", "extended"])
-    for name in ("fig3_cg_monotonic", "fig4_cg_monodiff", "fig9_csr_product"):
-        k = all_kernels()[name]
+    # one batch per dependence method, all through the cached service
+    names = ("fig3_cg_monotonic", "fig4_cg_monodiff", "fig9_csr_product")
+    kernels = all_kernels()
+    methods = ("gcd", "banerjee", "range", "extended")
+    reports = {
+        method: BatchEngine(method=method).run(
+            AnalysisRequest(name=n, source=kernels[n].source, method=method, kernel=n)
+            for n in names
+        )
+        for method in methods
+    }
+    t = Table(["kernel", *methods])
+    for name in names:
+        k = kernels[name]
         row = [name]
-        for method in ("gcd", "banerjee", "range", "extended"):
-            out = parallelize(k.source, method=method, assertions=k.assertion_env())
-            row.append("PARALLEL" if k.target_loop in out.parallel_loops else "serial")
+        for method in methods:
+            verdict = reports[method].verdict(name)
+            row.append("PARALLEL" if k.target_loop in verdict.parallel_loops else "serial")
         t.add_row(*row)
     print(t.render())
 

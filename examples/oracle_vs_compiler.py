@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.corpus import all_kernels
 from repro.ir import build_function
-from repro.parallelizer import parallelize
 from repro.runtime import check_loop_independence
+from repro.service import BatchEngine
 from repro.workloads.generators import corrupted_rowptr, monotonic_rowptr
 
 BARE_LOOP = """
@@ -48,9 +48,11 @@ def bare_env(rowptr):
 
 
 def main() -> None:
+    engine = BatchEngine()  # compiler verdicts flow through the batch service
+
     # 1. full Figure 9: derivation succeeds
     k = all_kernels()["fig9_csr_product"]
-    out = parallelize(k.source)
+    out = engine.analyze_source(k.source, name="fig9")
     print("Figure 9 with filling code:")
     print(f"  compiler: product loop {'PARALLEL' if k.target_loop in out.parallel_loops else 'serial'}")
     func = build_function(k.source)
@@ -61,7 +63,7 @@ def main() -> None:
     # 2. bare loop: compiler refuses without the property's provenance
     print()
     print("bare product loop (no filling code, no assertions):")
-    out2 = parallelize(BARE_LOOP)
+    out2 = engine.analyze_source(BARE_LOOP, name="bare")
     print(f"  compiler: {'PARALLEL' if 'L1' in out2.parallel_loops else 'serial (sound refusal)'}")
     bare = build_function(BARE_LOOP)
     good = np.concatenate([monotonic_rowptr(8, seed=5), [monotonic_rowptr(8, seed=5)[-1]]])

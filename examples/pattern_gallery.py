@@ -3,40 +3,47 @@
 Section 2, with its kernel, the property that makes it parallel, and the
 verdicts of the extended Range Test vs the dynamic oracle.
 
+The compiler side runs through the batch service (one cached engine run
+over the whole corpus); the oracle column replays each kernel on
+generated inputs.
+
 Run:  python examples/pattern_gallery.py
 """
 
 from repro.corpus import all_kernels
 from repro.ir import build_function
-from repro.parallelizer import parallelize
 from repro.runtime import check_loop_independence
+from repro.service import BatchEngine, corpus_requests
 from repro.utils.tables import Table
 
 
 def main() -> None:
     kernels = all_kernels()
+    report = BatchEngine().run(corpus_requests())
+
     t = Table(
         ["kernel", "figure", "pattern", "property needed", "compiler", "oracle"],
         title="Section 2 pattern gallery",
     )
-    for name in sorted(kernels):
-        k = kernels[name]
-        out = parallelize(k.source, assertions=k.assertion_env())
-        verdict = "PARALLEL" if k.target_loop in out.parallel_loops else "serial"
+    for verdict in report.verdicts:
+        k = kernels[verdict.name]
+        decided = "PARALLEL" if k.target_loop in verdict.parallel_loops else "serial"
         oracle = "-"
         if k.make_inputs is not None:
             func = build_function(k.source)
             rep = check_loop_independence(func, k.make_inputs(0), k.target_loop)
             oracle = "independent" if rep.independent else "conflicts"
-        t.add_row(name, k.figure, k.pattern, k.property_needed[:44], verdict, oracle)
+        t.add_row(verdict.name, k.figure, k.pattern, k.property_needed[:44], decided, oracle)
     print(t.render())
 
     print()
     print("one pattern in depth — Figure 5 (injective subset):")
     k = kernels["fig5_csparse_subset"]
     print(k.source)
-    out = parallelize(k.source, assertions=k.assertion_env())
-    print(out.plan.describe())
+    v = report.verdict("fig5_csparse_subset")
+    for loop in v.payload["loops"]:
+        state = "PARALLEL" if loop["parallel"] else "serial"
+        print(f"{loop['label']}: {state} — {loop['reason']}")
 
 
 if __name__ == "__main__":

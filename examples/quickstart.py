@@ -54,6 +54,14 @@ def main() -> None:
     print("=== annotated C (the paper's hand-produced artifact, automated) ===")
     print(out.annotated_c)
 
+    # scale up: the same verdict via the cached batch service, which
+    # handles whole corpora (see `repro batch --help`)
+    from repro.service import BatchEngine
+
+    verdict = BatchEngine().analyze_source(SOURCE, name="quickstart")
+    print()
+    print(f"=== batch service agrees: parallel loops {verdict.parallel_loops} ===")
+
 
 if __name__ == "__main__":
     main()

@@ -15,7 +15,9 @@ The package implements, from scratch:
 * a runtime substrate — interpreter, dynamic independence oracle, machine
   model, real parallel executor (:mod:`repro.runtime`);
 * workloads (NPB CG, UA, CSparse equivalents), the figure corpus, the
-  Section-2 study and the Figure-10 evaluation harness.
+  Section-2 study and the Figure-10 evaluation harness;
+* a batch analysis service with content-addressed result caching and
+  parallel workers (:mod:`repro.service`, CLI: ``repro batch``).
 
 Quickstart::
 

@@ -4,12 +4,15 @@ Usage::
 
     python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
     python -m repro analyze FILE.c [--vars a,b,c]
+    python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH]
     python -m repro figure1
     python -m repro figure10
 
 ``parallelize`` prints the OpenMP-annotated C (the paper's artifact);
-``analyze`` prints the Section-3.5-style trace; the ``figure*`` commands
-regenerate the paper's evaluation outputs.
+``analyze`` prints the Section-3.5-style trace; ``batch`` runs the
+cached, parallel batch engine over the built-in corpus and/or user C
+files (see :mod:`repro.service`); the ``figure*`` commands regenerate
+the paper's evaluation outputs.
 """
 
 from __future__ import annotations
@@ -53,6 +56,44 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import (
+        BatchEngine,
+        ResultCache,
+        corpus_requests,
+        requests_from_source,
+    )
+
+    requests = []
+    if args.corpus or not args.files:
+        requests += corpus_requests(method=args.method)
+    # labels must be unique batch-wide: two files sharing a stem (or a
+    # stem colliding with a corpus kernel) get numbered suffixes
+    seen = {r.name for r in requests}
+    for path in args.files:
+        label = stem = Path(path).stem
+        k = 2
+        while label in seen:
+            label = f"{stem}-{k}"
+            k += 1
+        file_requests = requests_from_source(_read(path), label=label, method=args.method)
+        seen.update(r.name for r in file_requests)
+        seen.add(label)
+        requests += file_requests
+    cache = ResultCache(cache_dir=args.cache_dir)
+    engine = BatchEngine(method=args.method, jobs=args.jobs, cache=cache)
+    report = engine.run(requests)
+    if not args.quiet:
+        print(report.render())
+    if args.json == "-":
+        print(report.to_json())
+    elif args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    return 1 if any(not v.ok for v in report.verdicts) else 0
+
+
 def cmd_figure1(args: argparse.Namespace) -> int:
     from repro.study import run_figure1
 
@@ -93,6 +134,16 @@ def make_parser() -> argparse.ArgumentParser:
     a.add_argument("--function", default=None)
     a.add_argument("--vars", default=None, help="comma-separated variable filter")
     a.set_defaults(fn=cmd_analyze)
+
+    b = sub.add_parser("batch", help="batch-analyze a corpus with caching + workers")
+    b.add_argument("files", nargs="*", help="mini-C source files (default: built-in corpus)")
+    b.add_argument("--corpus", action="store_true", help="include the built-in corpus even when files are given")
+    b.add_argument("--method", default="extended", choices=["gcd", "banerjee", "range", "extended"])
+    b.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    b.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    b.add_argument("--json", default=None, metavar="PATH", help="write the JSON report to PATH ('-' for stdout)")
+    b.add_argument("--quiet", action="store_true", help="suppress the summary table")
+    b.set_defaults(fn=cmd_batch)
 
     sub.add_parser("figure1", help="regenerate the Figure 1 study table").set_defaults(
         fn=cmd_figure1

@@ -36,9 +36,13 @@ from repro.ir.nodes import (
     Stmt,
 )
 
-#: recorder(array_name, flat_index, is_write, iteration) — iteration is the
-#: current iteration number of the observed loop, or None outside it.
-Recorder = Callable[[str, int, bool, "int | None"], None]
+#: recorder(array_name, flat_index, is_write, iteration) — iteration is
+#: ``(activation, index)`` of the observed loop, or None outside it.
+#: ``activation`` counts entries to the loop (a nested loop re-activates
+#: once per enclosing iteration); ``index`` is the iteration number
+#: within that activation.  Parallel-for independence is a per-activation
+#: property, so conflicts must never be inferred across activations.
+Recorder = Callable[[str, int, bool, "tuple[int, int] | None"], None]
 
 
 class _Break(Exception):
@@ -69,7 +73,8 @@ class Interpreter:
     observe_label: str | None = None
     max_steps: int = 50_000_000
     steps: int = 0
-    _iteration: "int | None" = None
+    _iteration: "tuple[int, int] | None" = None
+    _activations: int = 0
 
     def run(self) -> dict[str, Any]:
         try:
@@ -124,6 +129,9 @@ class Interpreter:
         lb = self._as_int(self._eval(s.lb))
         ub = self._as_int(self._eval(s.ub))
         observed = self.observe_label is not None and s.label == self.observe_label
+        if observed:
+            self._activations += 1
+            activation = self._activations
         i = lb
         iteration = 0
         while (i < ub) if s.step > 0 else (i > ub):
@@ -131,7 +139,7 @@ class Interpreter:
             self.env[s.var] = i
             if observed:
                 prev = self._iteration
-                self._iteration = iteration
+                self._iteration = (activation, iteration)
             try:
                 self._block(s.body)
             except _Continue:

@@ -3,7 +3,12 @@
 Executes a kernel while recording, per iteration of one designated loop,
 which array elements are read and written.  A loop's iterations are
 dynamically independent (for this input) iff no element is written in one
-iteration and accessed (read or written) in another.
+iteration and accessed (read or written) in another *iteration of the
+same activation*.  A nested loop is activated once per enclosing
+iteration; ``omp parallel for`` on it only runs the iterations of one
+activation concurrently, so accesses made by different activations may
+legitimately overlap (the differential fuzzer caught exactly this: a
+segment walk whose per-row segments overlap is still parallel per row).
 
 The oracle is the ground truth for the compiler's soundness: every loop
 the analysis marks PARALLEL must be oracle-independent on every generated
@@ -66,18 +71,22 @@ def check_loop_independence(
     """Run ``func`` on ``env`` and report cross-iteration conflicts of the
     loop labeled ``loop_label``.  ``env`` is modified in place (pass a
     fresh copy if you need the inputs afterwards)."""
-    writers: dict[tuple[str, int], set[int]] = {}
-    readers: dict[tuple[str, int], set[int]] = {}
+    # (array, flat, activation) -> iteration indices within that activation
+    writers: dict[tuple[str, int, int], set[int]] = {}
+    readers: dict[tuple[str, int, int], set[int]] = {}
     count = [0]
-    iters: set[int] = set()
+    iters: set[tuple[int, int]] = set()
 
-    def recorder(array: str, flat: int, is_write: bool, iteration: "int | None") -> None:
+    def recorder(
+        array: str, flat: int, is_write: bool, iteration: "tuple[int, int] | None"
+    ) -> None:
         if iteration is None:
             return
         count[0] += 1
         iters.add(iteration)
-        key = (array, flat)
-        (writers if is_write else readers).setdefault(key, set()).add(iteration)
+        activation, index = iteration
+        key = (array, flat, activation)
+        (writers if is_write else readers).setdefault(key, set()).add(index)
 
     run_function(func, env, recorder=recorder, observe_label=loop_label, max_steps=max_steps)
 
@@ -85,7 +94,7 @@ def check_loop_independence(
     for key, wset in writers.items():
         if len(conflicts) >= max_conflicts:
             break
-        array, index = key
+        array, index, _activation = key
         ws = sorted(wset)
         if len(ws) > 1:
             conflicts.append(Conflict(array, index, ws[0], ws[1], True))

@@ -1,0 +1,159 @@
+"""Content-addressed result cache for the batch analysis engine.
+
+Cache keys are SHA-256 digests over everything that determines a
+verdict:
+
+* the **canonical IR text** of the function (``repro.ir.function_to_c``
+  of the freshly built, un-annotated IR — whitespace and comment changes
+  in the original source therefore do not invalidate entries, while any
+  semantic change to the IR does);
+* the **dependence method** (``gcd`` / ``banerjee`` / ``range`` /
+  ``extended``);
+* a fingerprint of the **assertion environment** seeding index-array
+  properties;
+* the **analyzer version** (:data:`ANALYZER_VERSION`), so stale entries
+  die automatically when the analysis changes behaviour.
+
+Storage is two-level: a bounded in-memory LRU (always on) and an
+optional on-disk JSON store (one ``<key>.json`` file per entry, written
+atomically so concurrent workers can share a directory).  Corrupted or
+unreadable disk entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+
+#: Bump the schema suffix whenever the verdict payload layout or the
+#: analysis semantics change; combined with the package version it makes
+#: old cache entries unreachable instead of wrong.
+CACHE_SCHEMA = 1
+ANALYZER_VERSION = f"{repro.__version__}+schema{CACHE_SCHEMA}"
+
+
+def cache_key(
+    ir_text: str,
+    method: str = "extended",
+    assertions_fingerprint: str = "",
+    version: str = ANALYZER_VERSION,
+) -> str:
+    """Stable content hash of one analysis task."""
+    h = hashlib.sha256()
+    for part in (version, method, assertions_fingerprint, ir_text):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+@dataclass
+class ResultCache:
+    """In-memory LRU plus optional on-disk JSON store."""
+
+    cache_dir: "str | Path | None" = None
+    max_entries: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: "OrderedDict[str, dict]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return hit
+        payload = self._disk_get(key)
+        if payload is not None:
+            self.stats.disk_hits += 1
+            self._memory_put(key, payload)
+            return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        self.stats.stores += 1
+        self._memory_put(key, payload)
+        self._disk_put(key, payload)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop memory entries (disk entries, if any, are kept)."""
+        self._memory.clear()
+
+    # -- memory LRU -----------------------------------------------------------
+    def _memory_put(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    # -- disk store -----------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert isinstance(self.cache_dir, Path)
+        return self.cache_dir / f"{key}.json"
+
+    def _disk_get(self, key: str) -> dict | None:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # corrupted entry: drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def _disk_put(self, key: str, payload: dict) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

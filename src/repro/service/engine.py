@@ -1,0 +1,375 @@
+"""Batch analysis engine: frontend → analysis → dependence → plan over a
+whole corpus of kernels, with caching and parallel workers.
+
+Design
+------
+
+* An :class:`AnalysisRequest` names one analysis task: a mini-C source
+  (plus optional function name), the dependence method, and — for
+  built-in corpus kernels — the registry name whose assertion
+  environment seeds index-array properties.  Requests are plain,
+  picklable data so they can cross process boundaries.
+* The parent process fingerprints every request (canonical IR text +
+  method + assertion fingerprint + analyzer version, see
+  :mod:`repro.service.cache`) and satisfies what it can from the
+  :class:`~repro.service.cache.ResultCache`.  Only cache *misses* are
+  computed — serially for ``jobs == 1``, otherwise on a
+  ``concurrent.futures.ProcessPoolExecutor``.  A fully warm batch never
+  spawns a pool at all.
+* Workers return pure-JSON verdict payloads (loop verdicts, reasons,
+  pragmas, annotated C — never timings), so a payload is byte-for-byte
+  identical whether it was computed cold, served warm, or produced by
+  any number of workers.  Wall-clock timings are recorded around the
+  payload and reported separately.
+* A request whose frontend or analysis raises a
+  :class:`~repro.errors.ReproError` yields an *error payload* instead of
+  aborting the batch; genuine programming errors still propagate.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.service.cache import ANALYZER_VERSION, ResultCache, cache_key
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One unit of batch work (picklable)."""
+
+    name: str  # unique within the batch; report rows are sorted by it
+    source: str  # mini-C text
+    function: "str | None" = None  # function to analyze (None: the only one)
+    method: str = "extended"  # gcd | banerjee | range | extended
+    kernel: "str | None" = None  # corpus-kernel name providing assertions
+
+    def assertion_env(self):
+        """Rebuild the assertion environment (worker side)."""
+        if self.kernel is None:
+            return None
+        from repro.corpus import all_kernels
+
+        return all_kernels()[self.kernel].assertion_env()
+
+
+@dataclass
+class KernelVerdict:
+    """One request's result: the deterministic payload plus run metadata."""
+
+    name: str
+    payload: dict
+    from_cache: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return "error" not in self.payload
+
+    @property
+    def parallel_loops(self) -> list[str]:
+        return list(self.payload.get("parallel_loops", ()))
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`BatchEngine.run` produced."""
+
+    method: str
+    jobs: int
+    verdicts: list[KernelVerdict] = field(default_factory=list)
+    total_seconds: float = 0.0
+    cache_stats: "dict[str, int] | None" = None
+
+    def verdict(self, name: str) -> KernelVerdict:
+        for v in self.verdicts:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    # -- serialization -------------------------------------------------------
+    def canonical_json(self) -> str:
+        """The machine-readable verdict report.
+
+        Deterministic: identical for cold, warm, and parallel runs of the
+        same requests (no timings, no cache metadata, sorted keys).
+        """
+        import json
+
+        doc = {
+            "analyzer_version": ANALYZER_VERSION,
+            "method": self.method,
+            "verdicts": [v.payload for v in self.verdicts],
+        }
+        return json.dumps(doc, sort_keys=True, indent=2)
+
+    def to_json(self) -> str:
+        """Full report: canonical verdicts plus timings and cache stats."""
+        import json
+
+        doc = {
+            "analyzer_version": ANALYZER_VERSION,
+            "method": self.method,
+            "jobs": self.jobs,
+            "total_seconds": round(self.total_seconds, 6),
+            "cache": self.cache_stats,
+            "verdicts": [
+                {
+                    **v.payload,
+                    "from_cache": v.from_cache,
+                    "seconds": round(v.seconds, 6),
+                }
+                for v in self.verdicts
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        from repro.utils.tables import Table
+
+        t = Table(
+            ["kernel", "function", "parallel loops", "serial loops", "cache", "ms"],
+            title=f"batch analysis ({self.method}, jobs={self.jobs})",
+        )
+        for v in self.verdicts:
+            if not v.ok:
+                t.add_row(v.name, "-", f"ERROR: {v.payload['error'][:40]}", "-", "-", "-")
+                continue
+            serial = [
+                l["label"] for l in v.payload["loops"] if not l["parallel"]
+            ]
+            t.add_row(
+                v.name,
+                v.payload["function"],
+                ", ".join(v.parallel_loops) or "-",
+                ", ".join(serial) or "-",
+                "hit" if v.from_cache else "miss",
+                f"{v.seconds * 1e3:.1f}",
+            )
+        lines = [t.render()]
+        n_par = sum(1 for v in self.verdicts if v.ok and v.parallel_loops)
+        n_err = sum(1 for v in self.verdicts if not v.ok)
+        lines.append(
+            f"{len(self.verdicts)} kernels: {n_par} with parallel loops, "
+            f"{n_err} errors — {self.total_seconds * 1e3:.1f} ms total"
+        )
+        if self.cache_stats is not None:
+            lines.append(
+                "cache: {memory_hits} memory hits, {disk_hits} disk hits, "
+                "{misses} misses, {stores} stores".format(**self.cache_stats)
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# fingerprinting and the (picklable) worker
+# --------------------------------------------------------------------------
+
+
+def _assertions_fingerprint(env) -> str:  # noqa: ANN001 — PropertyEnv | None
+    """Stable text form of an assertion environment for cache keying."""
+    if env is None:
+        return ""
+    parts = [env.describe()]
+    for name in sorted(env.scalars):
+        parts.append(f"scalar {name}: {env.scalars[name]}")
+    for sym in sorted(env.param_ranges, key=str):
+        parts.append(f"param {sym}: {env.param_ranges[sym]}")
+    for comp in env.composites:
+        parts.append(f"composite {comp.terms} {comp.direction}")
+    return "\n".join(parts)
+
+
+def _request_key(req: AnalysisRequest) -> str:
+    """Cache key for ``req``; falls back to hashing the raw source when
+    the frontend rejects it (the rejection itself is then cached)."""
+    from repro.ir import build_function, function_to_c
+
+    fp = _assertions_fingerprint(req.assertion_env())
+    try:
+        ir_text = function_to_c(build_function(req.source, req.function))
+    except ReproError:
+        ir_text = "unparsed:" + req.source
+    return cache_key(ir_text, req.method, fp)
+
+
+def _compute_payload(req: AnalysisRequest, key: "str | None" = None) -> dict:
+    """Run the full pipeline for one request (worker side; pure JSON out).
+
+    ``key`` is the request's cache key when the caller already computed
+    it (avoids re-parsing the source a second time just for the hash).
+    """
+    from repro.parallelizer import parallelize
+
+    if key is None:
+        key = _request_key(req)
+    base = {"name": req.name, "method": req.method, "cache_key": key}
+    try:
+        out = parallelize(
+            req.source,
+            method=req.method,
+            assertions=req.assertion_env(),
+            function=req.function,
+        )
+    except ReproError as exc:
+        return {**base, "error": f"{type(exc).__name__}: {exc}", "function": req.function}
+    loops = [
+        {
+            "label": p.label,
+            "parallel": p.parallel,
+            "reason": p.reason,
+            "pragma": p.pragma,
+        }
+        for p in out.plan.loops.values()
+    ]
+    return {
+        **base,
+        "function": out.func.name,
+        "parallel_loops": out.plan.parallel_loops,
+        "loops": loops,
+        "annotated_c": out.annotated_c,
+    }
+
+
+# --------------------------------------------------------------------------
+# the engine
+# --------------------------------------------------------------------------
+
+
+class BatchEngine:
+    """Cache-aware, optionally parallel analysis driver."""
+
+    def __init__(
+        self,
+        method: str = "extended",
+        jobs: int = 1,
+        cache: "ResultCache | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.method = method
+        self.jobs = jobs
+        self.cache = cache if cache is not None else ResultCache()
+
+    # -- single request -------------------------------------------------------
+    def analyze(self, req: AnalysisRequest) -> KernelVerdict:
+        """Analyze one request through the cache (always in-process)."""
+        t0 = time.perf_counter()
+        key = _request_key(req)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return KernelVerdict(req.name, {**hit, "name": req.name}, True,
+                                 time.perf_counter() - t0)
+        payload = _compute_payload(req, key)
+        self.cache.put(key, payload)
+        return KernelVerdict(req.name, payload, False, time.perf_counter() - t0)
+
+    def analyze_source(
+        self, source: str, name: str = "kernel", function: "str | None" = None
+    ) -> KernelVerdict:
+        """Convenience wrapper: analyze one mini-C source text."""
+        return self.analyze(
+            AnalysisRequest(name=name, source=source, function=function, method=self.method)
+        )
+
+    # -- batch ----------------------------------------------------------------
+    def run(self, requests: Iterable[AnalysisRequest]) -> BatchReport:
+        """Analyze every request; verdicts are sorted by request name."""
+        reqs = sorted(requests, key=lambda r: r.name)
+        names = [r.name for r in reqs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate request names: {', '.join(dupes)}")
+        t_start = time.perf_counter()
+
+        verdicts: dict[str, KernelVerdict] = {}
+        misses: list[tuple[AnalysisRequest, str]] = []
+        for req in reqs:
+            t0 = time.perf_counter()
+            key = _request_key(req)
+            hit = self.cache.get(key)
+            if hit is not None:
+                verdicts[req.name] = KernelVerdict(
+                    req.name, {**hit, "name": req.name}, True, time.perf_counter() - t0
+                )
+            else:
+                misses.append((req, key))
+
+        for req, key, payload, seconds in self._compute_all(misses):
+            self.cache.put(key, payload)
+            verdicts[req.name] = KernelVerdict(req.name, payload, False, seconds)
+
+        return BatchReport(
+            method=self.method,
+            jobs=self.jobs,
+            verdicts=[verdicts[n] for n in names],
+            total_seconds=time.perf_counter() - t_start,
+            cache_stats=self.cache.stats.to_dict(),
+        )
+
+    def _compute_all(
+        self, misses: Sequence[tuple[AnalysisRequest, str]]
+    ) -> list[tuple[AnalysisRequest, str, dict, float]]:
+        if not misses:
+            return []
+        if self.jobs == 1 or len(misses) == 1:
+            out = []
+            for req, key in misses:
+                t0 = time.perf_counter()
+                payload = _compute_payload(req, key)
+                out.append((req, key, payload, time.perf_counter() - t0))
+            return out
+        workers = min(self.jobs, len(misses))
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(
+                pool.map(_compute_payload, [r for r, _ in misses], [k for _, k in misses])
+            )
+        # per-item wall time is not observable across the pool; attribute
+        # the batch wall clock evenly so totals stay meaningful
+        each = (time.perf_counter() - t0) / len(misses)
+        return [(req, key, payload, each) for (req, key), payload in zip(misses, payloads)]
+
+
+# --------------------------------------------------------------------------
+# request builders
+# --------------------------------------------------------------------------
+
+
+def corpus_requests(method: str = "extended") -> list[AnalysisRequest]:
+    """One request per built-in corpus kernel (figures + suite extras),
+    each carrying its registry assertions."""
+    from repro.corpus import all_kernels
+
+    return [
+        AnalysisRequest(name=name, source=k.source, method=method, kernel=name)
+        for name, k in sorted(all_kernels().items())
+    ]
+
+
+def requests_from_source(
+    source: str, label: str, method: str = "extended"
+) -> list[AnalysisRequest]:
+    """One request per function in a mini-C translation unit.
+
+    An unparsable unit yields a single request whose analysis will
+    produce an error payload, so a broken file degrades to one error
+    row in the batch report instead of aborting the whole run.
+    """
+    from repro.ir import build_program
+
+    try:
+        program = build_program(source)
+    except ReproError:
+        return [AnalysisRequest(name=label, source=source, method=method)]
+    names = sorted(program.functions)
+    if len(names) == 1:
+        return [AnalysisRequest(name=label, source=source, function=names[0], method=method)]
+    return [
+        AnalysisRequest(name=f"{label}:{fn}", source=source, function=fn, method=method)
+        for fn in names
+    ]

@@ -387,6 +387,76 @@ SubstFn = Callable[[Atom], "Expr | None"]
 
 
 # --------------------------------------------------------------------------
+# Memoization of the canonicalizing constructors
+# --------------------------------------------------------------------------
+#
+# Profiling the full-corpus analysis sweep (``benchmarks/
+# bench_analysis_cost.py``) shows the pipeline spends most of its
+# symbolic time re-canonicalizing the *same* small expressions: ``add``
+# / ``mul`` / ``smin`` / ``smax`` are called thousands of times per
+# kernel with a handful of distinct argument tuples (loop bounds,
+# iteration distances, range endpoints).  Every :class:`Expr` is
+# immutable and hashable, so the constructors are pure functions of
+# their argument tuples and can be memoized safely — a cached result may
+# be shared freely.
+#
+# The tables are bounded: when one exceeds ``_MEMO_LIMIT`` entries it is
+# cleared wholesale (cheaper and simpler than LRU bookkeeping at this
+# call rate; the working set per kernel is far below the limit).
+
+_MEMO_LIMIT = 1 << 16
+
+_memo_add: dict[tuple, Expr] = {}
+_memo_mul: dict[tuple, Expr] = {}
+_memo_minmax: dict[tuple, Expr] = {}
+_memo_stats = {"hits": 0, "misses": 0}
+
+
+def clear_memo_tables() -> None:
+    """Drop every symbolic memo table (constructors here plus the
+    range-substitution memo in :mod:`repro.symbolic.ranges`) and reset
+    the counters — lets benchmarks measure genuinely cold runs."""
+    from repro.symbolic import ranges
+
+    _memo_add.clear()
+    _memo_mul.clear()
+    _memo_minmax.clear()
+    ranges._subst_memo.clear()
+    _memo_stats["hits"] = 0
+    _memo_stats["misses"] = 0
+
+
+def memo_stats() -> dict[str, int]:
+    """Hit/miss counters plus current table sizes (all memo tables)."""
+    from repro.symbolic import ranges
+
+    return {
+        "hits": _memo_stats["hits"],
+        "misses": _memo_stats["misses"],
+        "entries": len(_memo_add)
+        + len(_memo_mul)
+        + len(_memo_minmax)
+        + len(ranges._subst_memo),
+    }
+
+
+def _memo_get(table: dict[tuple, Expr], key: tuple) -> Expr | None:
+    hit = table.get(key)
+    if hit is not None:
+        _memo_stats["hits"] += 1
+    else:
+        _memo_stats["misses"] += 1
+    return hit
+
+
+def _memo_put(table: dict[tuple, Expr], key: tuple, value: Expr) -> Expr:
+    if len(table) >= _MEMO_LIMIT:
+        table.clear()
+    table[key] = value
+    return value
+
+
+# --------------------------------------------------------------------------
 # Factories / canonicalization
 # --------------------------------------------------------------------------
 
@@ -483,6 +553,9 @@ def _make_sum(acc: dict[Monomial, Fraction], constant: Fraction) -> Expr:
 def add(*xs: ExprLike) -> Expr:
     """Canonical sum; ⊥ absorbs, ±∞ propagates (opposite infinities are an
     error — ranges never combine them through this function)."""
+    cached = _memo_get(_memo_add, xs)
+    if cached is not None:
+        return cached
     es = [_coerce(x) for x in xs]
     if any(e.is_bottom for e in es):
         return BOTTOM
@@ -497,7 +570,7 @@ def add(*xs: ExprLike) -> Expr:
     constant = Fraction(0)
     for e in es:
         constant += _accumulate(acc, e, Fraction(1))
-    return _make_sum(acc, constant)
+    return _memo_put(_memo_add, xs, _make_sum(acc, constant))
 
 
 def neg(x: ExprLike) -> Expr:
@@ -559,11 +632,14 @@ def _as_terms(e: Expr) -> list[tuple[Fraction, Monomial]]:
 
 
 def mul(*xs: ExprLike) -> Expr:
+    cached = _memo_get(_memo_mul, xs)
+    if cached is not None:
+        return cached
     es = [_coerce(x) for x in xs]
     out: Expr = ONE
     for e in es:
         out = _mul_two(out, e)
-    return out
+    return _memo_put(_memo_mul, xs, out)
 
 
 def _rebuild_opaque(op: OpaqueOp, args: tuple[Expr, ...]) -> Expr:
@@ -610,6 +686,14 @@ def mod(a: ExprLike, b: ExprLike) -> Expr:
 
 
 def _fold_minmax(op: OpaqueOp, xs: Sequence[ExprLike]) -> Expr:
+    key = (op, *xs)
+    cached = _memo_get(_memo_minmax, key)
+    if cached is not None:
+        return cached
+    return _memo_put(_memo_minmax, key, _fold_minmax_uncached(op, xs))
+
+
+def _fold_minmax_uncached(op: OpaqueOp, xs: Sequence[ExprLike]) -> Expr:
     es: list[Expr] = []
     for x in xs:
         e = _coerce(x)

@@ -185,6 +185,17 @@ def _as_range(x: "SymRange | ExprLike") -> SymRange:
     return SymRange.point(_coerce(x))
 
 
+#: Bounded memo for :func:`range_subst` — both endpoints of a range are
+#: usually substituted under the same (tiny) mapping, and the analysis
+#: re-resolves identical post-states once per enclosing loop level.
+#: Expressions and :class:`SymRange` values are immutable and hashable,
+#: so keying on ``(e, side, mapping-items)`` is exact.  Bookkeeping
+#: (bounded size, hit/miss stats) is shared with the constructor memos
+#: in :mod:`repro.symbolic.expr`; ``expr.clear_memo_tables`` clears this
+#: table too.
+_subst_memo: dict[tuple, Expr] = {}
+
+
 def range_subst(e: Expr, mapping: Mapping, side: str) -> Expr:
     """Substitute ranges for atoms inside ``e``, picking the endpoint that
     bounds ``e`` from the requested ``side`` (``"lo"`` or ``"hi"``).
@@ -195,10 +206,19 @@ def range_subst(e: Expr, mapping: Mapping, side: str) -> Expr:
     products with other mapped atoms make the result ⊥-conservative
     (±∞) unless their range is a point.
     """
-    from repro.symbolic.expr import Atom, Sum, _as_terms
+    from repro.symbolic.expr import _memo_get, _memo_put
 
     if isinstance(e, Const) or e.is_infinite or e.is_bottom:
         return e
+    key = (e, side, frozenset(mapping.items()))
+    cached = _memo_get(_subst_memo, key)
+    if cached is not None:
+        return cached
+    return _memo_put(_subst_memo, key, _range_subst_uncached(e, mapping, side))
+
+
+def _range_subst_uncached(e: Expr, mapping: Mapping, side: str) -> Expr:
+    from repro.symbolic.expr import Atom, Sum, _as_terms
 
     def pick(atom: Atom, want_hi: bool) -> Expr:
         r = mapping.get(atom)

@@ -4,9 +4,18 @@ Each generator produces index arrays with exactly the property the
 corresponding figure relies on (and, for negative testing, deliberately
 corrupted variants without it).  Tests and the oracle use these to
 validate that the compiler's verdicts match dynamic behaviour.
+
+The module also hosts the **random kernel generator**
+(:func:`random_kernel`): seeded synthesis of whole mini-C functions with
+subscripted-subscript patterns, used by the differential fuzz suite to
+cross-check compile-time verdicts against the dynamic oracle on inputs
+far outside the hand-written corpus.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
@@ -127,6 +136,238 @@ def ua_refinement(nelt: int, num_refine: int, seed: int = 0) -> dict[str, np.nda
         "front": front,
         "ich": ich,
     }
+
+
+# -- random mini-C kernel synthesis (differential fuzzing) -------------------------------
+#
+# Kernels are assembled from independent *segments*, each an instance of
+# one subscripted-subscript pattern family with randomized constants.
+# Segments never share arrays, so a kernel's loops exercise the analysis
+# (derivation from filling code, guards, negatives) without hidden
+# cross-segment dependences.  Every segment declares how large each of
+# its arrays must be for a given ``n`` so the interpreter can never go
+# out of bounds, and whether it is an input (random data) or an output
+# (zeros).
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    name: str
+    size_of: Callable[[int], int]
+    init: str  # "zeros" | "rand"
+
+
+@dataclass(frozen=True)
+class _Segment:
+    family: str
+    code: str  # statement block, referencing arrays and i/j/n
+    arrays: tuple[_ArraySpec, ...]
+
+
+@dataclass(frozen=True)
+class RandomKernel:
+    """A synthesized mini-C function plus matching input builder."""
+
+    name: str
+    source: str
+    families: tuple[str, ...]
+    make_inputs: Callable[[int], "dict[str, Any]"]
+
+
+def _seg_strided_scatter(rng: np.random.Generator, t: str) -> _Segment:
+    """Fill ``off`` with an affine map (possibly stride 0 — then NOT
+    injective) and scatter through it."""
+    stride = int(rng.integers(0, 4))
+    base = int(rng.integers(0, 4))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ off{t}[i] = i * {stride} + {base}; }}\n"
+        f"    for (i = 0; i < n; i++) {{ data{t}[off{t}[i]] = i; }}\n"
+    )
+    return _Segment(
+        family=f"strided_scatter(s={stride})",
+        code=code,
+        arrays=(
+            _ArraySpec(f"off{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"data{t}", lambda n: 3 * n + 8, "zeros"),
+        ),
+    )
+
+
+def _seg_rowptr_segments(rng: np.random.Generator, t: str) -> _Segment:
+    """Figure-9-shaped derivation: fill sizes, prefix-sum a rowptr, then
+    walk the segments.  One variant makes sizes possibly negative, which
+    must defeat the monotonicity derivation."""
+    k = int(rng.integers(1, 5))
+    variant = int(rng.integers(0, 3))
+    if variant == 0:
+        size_expr, fam = str(int(rng.integers(0, 4))), "rowptr(const)"
+    elif variant == 1:
+        size_expr, fam = f"i % {k}", f"rowptr(mod {k})"
+    else:
+        size_expr, fam = f"i % {k} - 1", f"rowptr(signed {k})"
+    # the signed variant lets ptr go negative; shift the walked accesses
+    # by n so the emitted C never indexes out of bounds (ptr >= -n)
+    idx = "j + n" if variant == 2 else "j"
+    code = (
+        f"    for (i = 0; i < n; i++) {{ sz{t}[i] = {size_expr}; }}\n"
+        f"    ptr{t}[0] = 0;\n"
+        f"    for (i = 1; i < n + 1; i++) {{ ptr{t}[i] = ptr{t}[i-1] + sz{t}[i-1]; }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        for (j = ptr{t}[i]; j < ptr{t}[i+1]; j++) {{\n"
+        f"            seg{t}[{idx}] = inp{t}[{idx}] + 1;\n"
+        f"        }}\n"
+        f"    }}\n"
+    )
+    return _Segment(
+        family=fam,
+        code=code,
+        arrays=(
+            _ArraySpec(f"sz{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"ptr{t}", lambda n: n + 1, "zeros"),
+            _ArraySpec(f"seg{t}", lambda n: 4 * n + 4, "zeros"),
+            _ArraySpec(f"inp{t}", lambda n: 4 * n + 4, "rand"),
+        ),
+    )
+
+
+def _seg_histogram(rng: np.random.Generator, t: str) -> _Segment:
+    """Filled keys are value-bounded but not injective: the counting loop
+    carries a genuine output dependence (negative control)."""
+    k = int(rng.integers(2, 7))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ key{t}[i] = i % {k}; }}\n"
+        f"    for (i = 0; i < n; i++) {{ cnt{t}[key{t}[i]] = cnt{t}[key{t}[i]] + 1; }}\n"
+    )
+    return _Segment(
+        family=f"histogram({k})",
+        code=code,
+        arrays=(
+            _ArraySpec(f"key{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"cnt{t}", lambda n: k, "zeros"),
+        ),
+    )
+
+
+def _seg_affine(rng: np.random.Generator, t: str) -> _Segment:
+    """Plain affine map — the trivially parallel baseline."""
+    c1 = int(rng.integers(1, 5))
+    c2 = int(rng.integers(0, 9))
+    code = f"    for (i = 0; i < n; i++) {{ res{t}[i] = src{t}[i] * {c1} + {c2}; }}\n"
+    return _Segment(
+        family="affine",
+        code=code,
+        arrays=(
+            _ArraySpec(f"res{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"src{t}", lambda n: n, "rand"),
+        ),
+    )
+
+
+def _seg_gather(rng: np.random.Generator, t: str) -> _Segment:
+    """Subscripted-subscript *read*: arbitrary index values, affine
+    write — parallel no matter what the index array holds."""
+    stride = int(rng.integers(1, 5))
+    base = int(rng.integers(0, 4))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ idx{t}[i] = (i * {stride} + {base}) % n; }}\n"
+        f"    for (i = 0; i < n; i++) {{ g{t}[i] = v{t}[idx{t}[i]] + 1; }}\n"
+    )
+    return _Segment(
+        family="gather",
+        code=code,
+        arrays=(
+            _ArraySpec(f"idx{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"g{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"v{t}", lambda n: n, "rand"),
+        ),
+    )
+
+
+def _seg_guarded_scatter(rng: np.random.Generator, t: str) -> _Segment:
+    """Strictly monotonic fill used under a condition — the guarded
+    subset stays injective."""
+    base = int(rng.integers(0, 4))
+    mod = int(rng.integers(2, 4))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ goff{t}[i] = i * 2 + {base}; }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        if (i % {mod} == 0) {{ gdat{t}[goff{t}[i]] = i; }}\n"
+        f"    }}\n"
+    )
+    return _Segment(
+        family="guarded_scatter",
+        code=code,
+        arrays=(
+            _ArraySpec(f"goff{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"gdat{t}", lambda n: 2 * n + base + 2, "zeros"),
+        ),
+    )
+
+
+def _seg_shifted_copy(rng: np.random.Generator, t: str) -> _Segment:
+    """Loop-carried recurrence ``a[i+c] = a[i] + 1`` — must stay serial."""
+    c = int(rng.integers(1, 3))
+    code = f"    for (i = 0; i < n; i++) {{ sh{t}[i + {c}] = sh{t}[i] + 1; }}\n"
+    return _Segment(
+        family=f"shifted_copy({c})",
+        code=code,
+        arrays=(_ArraySpec(f"sh{t}", lambda n: n + c + 1, "rand"),),
+    )
+
+
+_SEGMENT_FAMILIES: "list[Callable[[np.random.Generator, str], _Segment]]" = [
+    _seg_strided_scatter,
+    _seg_rowptr_segments,
+    _seg_histogram,
+    _seg_affine,
+    _seg_gather,
+    _seg_guarded_scatter,
+    _seg_shifted_copy,
+]
+
+
+def random_kernel(seed: int) -> RandomKernel:
+    """Synthesize a seeded random mini-C kernel with 1–3 independent
+    subscripted-subscript segments.
+
+    The same seed always yields the same source; ``make_inputs(s)``
+    yields interpreter-ready inputs (array sizes are segment-derived, so
+    execution never leaves bounds).
+    """
+    rng = rng_of(seed)
+    count = int(rng.integers(1, 4))
+    picks = rng.choice(len(_SEGMENT_FAMILIES), size=count, replace=False)
+    segments = [
+        _SEGMENT_FAMILIES[int(p)](rng, chr(ord("a") + pos))
+        for pos, p in enumerate(picks)
+    ]
+    specs = [spec for seg in segments for spec in seg.arrays]
+    params = ", ".join([f"int {spec.name}[]" for spec in specs] + ["int n"])
+    name = f"fuzz{seed}"
+    source = (
+        f"void {name}({params})\n"
+        "{\n"
+        "    int i, j;\n" + "".join(seg.code for seg in segments) + "}\n"
+    )
+
+    def make_inputs(input_seed: int) -> "dict[str, Any]":
+        irng = rng_of(input_seed)
+        n = int(irng.integers(4, 33))
+        env: "dict[str, Any]" = {"n": n}
+        for spec in specs:
+            size = max(int(spec.size_of(n)), 1)
+            if spec.init == "rand":
+                env[spec.name] = irng.integers(0, 50, size=size).astype(np.int64)
+            else:
+                env[spec.name] = np.zeros(size, dtype=np.int64)
+        return env
+
+    return RandomKernel(
+        name=name,
+        source=source,
+        families=tuple(seg.family for seg in segments),
+        make_inputs=make_inputs,
+    )
 
 
 # -- dense matrices for the Figure 9 pipeline -------------------------------------------

@@ -1,10 +1,27 @@
-"""Shared fixtures: the Figure 9 kernel and common builders."""
+"""Shared fixtures: the Figure 9 kernel, common builders, and the
+``--fuzz-seeds`` knob scaling the differential fuzz suite."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.ir import build_function
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fuzz-seeds",
+        type=int,
+        default=200,
+        help="number of random kernels the differential fuzz suite checks "
+        "(one test per seed; deterministic given the seed)",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    if "fuzz_seed" in metafunc.fixturenames:
+        n = metafunc.config.getoption("--fuzz-seeds")
+        metafunc.parametrize("fuzz_seed", range(n))
 
 
 FIG9_SOURCE = """

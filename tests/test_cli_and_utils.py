@@ -58,6 +58,32 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["nope"])
 
+    def test_batch_over_file(self, fig9_file, capsys):
+        assert main(["batch", fig9_file]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "L3" in out
+
+    def test_batch_json_to_stdout(self, fig9_file, capsys):
+        import json
+
+        assert main(["batch", fig9_file, "--quiet", "--json", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdicts"][0]["parallel_loops"] == ["L3"]
+
+    def test_batch_duplicate_stems_get_unique_labels(self, tmp_path, capsys):
+        # two files sharing a basename stem must not abort the batch
+        one = tmp_path / "a" / "x.c"
+        two = tmp_path / "b" / "x.c"
+        for p, body in ((one, "int a[]"), (two, "int b[]")):
+            p.parent.mkdir()
+            p.write_text(
+                "void f(%s, int n) { int i; for (i = 0; i < n; i++) { } }" % body
+            )
+        assert main(["batch", str(one), str(two)]) == 0
+        out = capsys.readouterr().out
+        assert "x " in out or "x|" in out.replace(" ", "")
+        assert "x-2" in out
+
 
 class TestTables:
     def test_alignment(self):

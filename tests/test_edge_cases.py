@@ -175,3 +175,67 @@ class TestPrinterEdgeCases:
             run_function(f, env1)
             run_function(rebuilt, env2)
             assert env1["a"][0] == env2["a"][0]
+
+
+class TestFuzzFoundRegressions:
+    """Minimized pins for bugs shaken out by the differential fuzz suite
+    (tests/test_differential_fuzz.py)."""
+
+    def test_oracle_scopes_conflicts_to_one_activation(self):
+        # Minimized from fuzz seed 94 (rowptr(signed) family): an inner
+        # loop writes the same elements on every *activation* (one per
+        # outer iteration).  Iterations of a single activation are
+        # independent, so `omp parallel for` on the inner loop is legal;
+        # the oracle used to restart iteration numbering per activation
+        # and mis-reported cross-activation overlap as a conflict.
+        f = build_function(
+            "void f(int n, int out[]) { int i, j;"
+            " for (i = 0; i < n; i++) {"
+            "   for (j = 0; j < 3; j++) { out[j] = i; } } }"
+        )
+        env = {"n": 5, "out": np.zeros(3, dtype=np.int64)}
+        rep = check_loop_independence(f, env, "L1.1")
+        assert rep.independent, [c.describe() for c in rep.conflicts]
+        # ... while the outer loop genuinely conflicts across iterations
+        env2 = {"n": 5, "out": np.zeros(3, dtype=np.int64)}
+        rep_outer = check_loop_independence(f, env2, "L1")
+        assert not rep_outer.independent
+
+    def test_oracle_iteration_count_spans_activations(self):
+        f = build_function(
+            "void f(int n, int out[]) { int i, j;"
+            " for (i = 0; i < n; i++) {"
+            "   for (j = 0; j < 3; j++) { out[j] = i; } } }"
+        )
+        env = {"n": 4, "out": np.zeros(3, dtype=np.int64)}
+        rep = check_loop_independence(f, env, "L1.1")
+        assert rep.iterations == 12  # 4 activations x 3 iterations
+
+    def test_signed_prefix_sum_walk_stays_sound(self):
+        # The signed rowptr variant: sizes may be negative, so ptr is not
+        # provably monotonic and per-row segments can overlap.  The outer
+        # walk must stay serial; the inner walk (distinct j per
+        # iteration) is parallel and must be oracle-independent.
+        src = (
+            "void f(int n, int sz[], int ptr[], int seg[], int inp[]) { int i, j;"
+            " for (i = 0; i < n; i++) { sz[i] = i % 3 - 1; }"
+            " ptr[0] = 0;"
+            " for (i = 1; i < n + 1; i++) { ptr[i] = ptr[i-1] + sz[i-1]; }"
+            " for (i = 0; i < n; i++) {"
+            "   for (j = ptr[i]; j < ptr[i+1]; j++) { seg[j + n] = inp[j + n] + 1; } } }"
+        )
+        out = parallelize(src)
+        assert "L3" not in out.parallel_loops  # overlap not refutable
+        f = build_function(src)
+        n = 9
+        env = {
+            "n": n,
+            "sz": np.zeros(n, dtype=np.int64),
+            "ptr": np.zeros(n + 1, dtype=np.int64),
+            "seg": np.zeros(4 * n + 4, dtype=np.int64),
+            "inp": np.ones(4 * n + 4, dtype=np.int64),
+        }
+        for label in out.parallel_loops:
+            fresh = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+            rep = check_loop_independence(f, fresh, label)
+            assert rep.independent, (label, [c.describe() for c in rep.conflicts])

@@ -1,0 +1,219 @@
+"""Correctness of the batch service: cache keys, storage tiers, and
+byte-identical reports across cold / warm / parallel runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    ANALYZER_VERSION,
+    AnalysisRequest,
+    BatchEngine,
+    ResultCache,
+    cache_key,
+    corpus_requests,
+    requests_from_source,
+)
+from repro.service.engine import _request_key
+
+SCATTER = """
+void scatter(int p[], int out[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        out[p[i]] = i;
+    }
+}
+"""
+
+SCATTER_REFORMATTED = """
+void scatter(int p[], int out[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) { out[p[i]] = i; }
+}
+"""
+
+SCATTER_CHANGED = """
+void scatter(int p[], int out[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        out[p[i]] = i + 1;
+    }
+}
+"""
+
+
+def _subset_requests(count: int = 6) -> list[AnalysisRequest]:
+    return corpus_requests()[:count]
+
+
+class TestCacheKey:
+    def test_key_changes_when_ir_changes(self):
+        a = _request_key(AnalysisRequest("k", SCATTER))
+        b = _request_key(AnalysisRequest("k", SCATTER_CHANGED))
+        assert a != b
+
+    def test_key_ignores_formatting(self):
+        a = _request_key(AnalysisRequest("k", SCATTER))
+        b = _request_key(AnalysisRequest("k", SCATTER_REFORMATTED))
+        assert a == b
+
+    def test_key_depends_on_method(self):
+        a = _request_key(AnalysisRequest("k", SCATTER, method="extended"))
+        b = _request_key(AnalysisRequest("k", SCATTER, method="gcd"))
+        assert a != b
+
+    def test_key_depends_on_assertions(self):
+        plain = _request_key(AnalysisRequest("k", SCATTER))
+        # lu_pivot's registry assertions (injectivity of perm) must
+        # change the key even for identical source text
+        from repro.corpus import all_kernels
+
+        src = all_kernels()["lu_pivot"].source
+        with_assert = _request_key(AnalysisRequest("k", src, kernel="lu_pivot"))
+        without = _request_key(AnalysisRequest("k", src))
+        assert with_assert != without
+        assert plain != with_assert
+
+    def test_key_depends_on_analyzer_version(self):
+        a = cache_key("ir", "extended", "", version="1.0+schema1")
+        b = cache_key("ir", "extended", "", version="1.0+schema2")
+        assert a != b
+
+    def test_key_does_not_depend_on_request_name(self):
+        a = _request_key(AnalysisRequest("first", SCATTER))
+        b = _request_key(AnalysisRequest("second", SCATTER))
+        assert a == b
+
+
+class TestResultCache:
+    def test_memory_roundtrip(self):
+        c = ResultCache()
+        assert c.get("k" * 64) is None
+        c.put("k" * 64, {"x": 1})
+        assert c.get("k" * 64) == {"x": 1}
+        assert c.stats.memory_hits == 1
+        assert c.stats.misses == 1
+
+    def test_lru_eviction(self):
+        c = ResultCache(max_entries=2)
+        c.put("a", {"v": 1})
+        c.put("b", {"v": 2})
+        assert c.get("a") == {"v": 1}  # refresh a
+        c.put("c", {"v": 3})  # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == {"v": 1}
+        assert c.get("c") == {"v": 3}
+
+    def test_disk_roundtrip(self, tmp_path):
+        c1 = ResultCache(cache_dir=tmp_path)
+        c1.put("deadbeef", {"verdict": "ok"})
+        c2 = ResultCache(cache_dir=tmp_path)  # fresh memory tier
+        assert c2.get("deadbeef") == {"verdict": "ok"}
+        assert c2.stats.disk_hits == 1
+
+    def test_corrupted_disk_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        (tmp_path / "badkey.json").write_text("{not json")
+        assert c.get("badkey") is None
+        assert not (tmp_path / "badkey.json").exists()  # dropped
+
+    def test_clear_keeps_disk(self, tmp_path):
+        c = ResultCache(cache_dir=tmp_path)
+        c.put("k1", {"v": 1})
+        c.clear()
+        assert len(c) == 0
+        assert c.get("k1") == {"v": 1}  # re-served from disk
+
+
+class TestReportDeterminism:
+    def test_cold_warm_parallel_byte_identical(self, tmp_path):
+        reqs = corpus_requests()
+        cold_engine = BatchEngine(jobs=1, cache=ResultCache(cache_dir=tmp_path))
+        cold = cold_engine.run(reqs)
+        warm = cold_engine.run(reqs)  # memory-warm
+        disk = BatchEngine(jobs=1, cache=ResultCache(cache_dir=tmp_path)).run(reqs)
+        parallel = BatchEngine(jobs=2, cache=ResultCache()).run(reqs)
+        assert cold.canonical_json() == warm.canonical_json()
+        assert cold.canonical_json() == disk.canonical_json()
+        assert cold.canonical_json() == parallel.canonical_json()
+        # and the cache tiers were actually exercised
+        assert warm.verdict("lu_pivot").from_cache
+        assert disk.verdict("lu_pivot").from_cache
+        assert not cold.verdict("lu_pivot").from_cache
+
+    def test_canonical_json_excludes_run_metadata(self):
+        report = BatchEngine().run(_subset_requests(3))
+        doc = json.loads(report.canonical_json())
+        for verdict in doc["verdicts"]:
+            assert "seconds" not in verdict
+            assert "from_cache" not in verdict
+        full = json.loads(report.to_json())
+        assert all("seconds" in v for v in full["verdicts"])
+        assert doc["analyzer_version"] == ANALYZER_VERSION
+
+    def test_verdicts_sorted_by_name(self):
+        report = BatchEngine().run(reversed(_subset_requests(5)))
+        names = [v.name for v in report.verdicts]
+        assert names == sorted(names)
+
+
+class TestEngineBehaviour:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BatchEngine().run(
+                [AnalysisRequest("k", SCATTER), AnalysisRequest("k", SCATTER_CHANGED)]
+            )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchEngine(jobs=0)
+
+    def test_error_payload_instead_of_crash(self):
+        report = BatchEngine().run(
+            [AnalysisRequest("broken", "void f( {")]
+        )
+        v = report.verdict("broken")
+        assert not v.ok
+        assert "error" in v.payload
+        # errors are cached and deterministic too
+        again = BatchEngine(cache=ResultCache()).run(
+            [AnalysisRequest("broken", "void f( {")]
+        )
+        assert report.canonical_json() == again.canonical_json()
+
+    def test_single_request_matches_batch(self):
+        req = AnalysisRequest("scatter", SCATTER)
+        single = BatchEngine().analyze(req)
+        batch = BatchEngine().run([req]).verdict("scatter")
+        assert single.payload == batch.payload
+
+    def test_unparsable_source_degrades_to_error_row(self):
+        # `repro batch broken.c` must report one error verdict, not
+        # traceback out of request enumeration (found by CLI probing)
+        reqs = requests_from_source("void broken( {", label="broken")
+        assert [r.name for r in reqs] == ["broken"]
+        report = BatchEngine().run(reqs)
+        v = report.verdict("broken")
+        assert not v.ok
+        assert "ParseError" in v.payload["error"]
+
+    def test_requests_from_source_multi_function(self):
+        two = SCATTER + "\nvoid other(int a[], int n) { int i; for (i = 0; i < n; i++) { a[i] = i; } }\n"
+        reqs = requests_from_source(two, label="unit")
+        assert [r.name for r in reqs] == ["unit:other", "unit:scatter"]
+        report = BatchEngine().run(reqs)
+        assert report.verdict("unit:other").parallel_loops == ["L1"]
+        assert report.verdict("unit:scatter").parallel_loops == []
+
+    def test_warm_run_faster_than_cold(self, tmp_path):
+        reqs = corpus_requests()
+        engine = BatchEngine(jobs=1, cache=ResultCache(cache_dir=tmp_path))
+        cold = engine.run(reqs)
+        warm = engine.run(reqs)
+        assert warm.total_seconds < cold.total_seconds
+        assert all(v.from_cache for v in warm.verdicts)

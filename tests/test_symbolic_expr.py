@@ -262,3 +262,46 @@ class TestSubstitution:
         e = array_term("a", i)
         out = e.subst(lambda a: BOTTOM if a == i else None)
         assert out.is_bottom
+
+
+class TestConstructorMemoization:
+    """The bounded memo tables behind add/mul/smin/smax/range_subst."""
+
+    def test_cached_result_equals_uncached(self):
+        from repro.symbolic import expr as E
+
+        x, y = var("x"), var("y")
+        E.clear_memo_tables()
+        first = add(mul(2, x), y, 1)
+        again = add(mul(2, x), y, 1)
+        assert first == again
+        assert again is first  # served from the memo, shared safely
+
+    def test_stats_track_hits_and_misses(self):
+        from repro.symbolic import expr as E
+
+        E.clear_memo_tables()
+        x = var("x")
+        add(x, 1)
+        before = E.memo_stats()
+        add(x, 1)
+        after = E.memo_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["entries"] >= 1
+        E.clear_memo_tables()
+        assert E.memo_stats()["entries"] == 0
+
+    def test_range_subst_memo_is_exact(self):
+        from repro.symbolic import expr as E
+        from repro.symbolic.ranges import SymRange, range_subst
+
+        E.clear_memo_tables()
+        x, n = var("x"), var("n")
+        e = add(x, 2)
+        lo_map = {x: SymRange(const(0), n)}
+        assert range_subst(e, lo_map, "lo") == const(2)
+        assert range_subst(e, lo_map, "hi") == add(n, 2)
+        # repeated query hits the shared memo with the same answer
+        assert range_subst(e, lo_map, "lo") == const(2)
+        # a different mapping must not collide
+        assert range_subst(e, {x: SymRange.point(const(5))}, "lo") == const(7)
