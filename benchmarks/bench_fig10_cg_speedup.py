@@ -11,7 +11,10 @@ Two series:
   on a size-scaled Class A matrix.
 
 Plus the headline: baselines parallelize nothing (sequential), the
-extended test parallelizes all CG kernels.
+extended test parallelizes all CG kernels — and, new in PR 2, those
+PARALLEL verdicts are dynamically validated against the independence
+oracle on the *compiled* runtime engine by default (set
+``REPRO_ENGINE=interp`` to fall back to the reference interpreter).
 """
 
 from __future__ import annotations
@@ -19,7 +22,9 @@ from __future__ import annotations
 import pytest
 
 from repro.evaluation import run_figure10, shape_checks
-from repro.runtime import measure_spmv_speedup
+from repro.evaluation.figure10 import CG_KERNELS
+from repro.runtime import default_engine, measure_spmv_speedup
+from repro.service import BatchEngine, corpus_requests, validate_parallel_verdicts
 from repro.utils.tables import Table
 from repro.workloads.sparse import random_csr
 
@@ -30,6 +35,21 @@ def test_fig10_modeled_speedups(benchmark):
     print(result.render())
     problems = shape_checks(result)
     assert problems == [], problems
+
+
+def test_fig10_cg_verdicts_oracle_validated(benchmark):
+    """The CG kernels' parallel verdicts hold up dynamically: the batch
+    service's oracle spot-check (compiled engine unless REPRO_ENGINE
+    says otherwise) finds no conflicting declared-parallel loop."""
+    engine = BatchEngine()
+    report = engine.run(
+        r for r in corpus_requests() if r.name in CG_KERNELS
+    )
+    problems = benchmark(validate_parallel_verdicts, report)
+    print()
+    print(f"oracle engine: {default_engine()}; kernels: {', '.join(CG_KERNELS)}")
+    assert problems == {}, problems
+    assert any(v.parallel_loops for v in report.verdicts)  # something was actually checked
 
 
 @pytest.mark.measured

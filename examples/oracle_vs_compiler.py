@@ -12,8 +12,15 @@ every input.  This example shows all three situations:
 3. a corrupted rowptr fed to the bare loop: the oracle exposes the
    conflicts the compiler refused to rule out.
 
-Run:  python examples/oracle_vs_compiler.py
+The oracle runs on the compiled closure engine by default; pass
+``--engine interp`` (or set ``REPRO_ENGINE=interp``) to fall back to the
+reference tree-walking interpreter — the verdicts are identical, only
+the inspection speed differs.
+
+Run:  python examples/oracle_vs_compiler.py [--engine compiled|interp]
 """
+
+import argparse
 
 import numpy as np
 
@@ -48,6 +55,18 @@ def bare_env(rowptr):
 
 
 def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--engine",
+        default=None,
+        choices=["compiled", "interp"],
+        help="oracle execution engine (default: $REPRO_ENGINE or compiled)",
+    )
+    args = ap.parse_args()
+    from repro.runtime import resolve_engine
+
+    oracle_engine = resolve_engine(args.engine)
+    print(f"(oracle engine: {oracle_engine})")
     engine = BatchEngine()  # compiler verdicts flow through the batch service
 
     # 1. full Figure 9: derivation succeeds
@@ -57,7 +76,7 @@ def main() -> None:
     print(f"  compiler: product loop {'PARALLEL' if k.target_loop in out.parallel_loops else 'serial'}")
     func = build_function(k.source)
     for seed in (0, 1, 2):
-        rep = check_loop_independence(func, k.make_inputs(seed), k.target_loop)
+        rep = check_loop_independence(func, k.make_inputs(seed), k.target_loop, engine=oracle_engine)
         print(f"  oracle(seed={seed}): {'independent' if rep.independent else 'CONFLICTS'}")
 
     # 2. bare loop: compiler refuses without the property's provenance
@@ -67,12 +86,12 @@ def main() -> None:
     print(f"  compiler: {'PARALLEL' if 'L1' in out2.parallel_loops else 'serial (sound refusal)'}")
     bare = build_function(BARE_LOOP)
     good = np.concatenate([monotonic_rowptr(8, seed=5), [monotonic_rowptr(8, seed=5)[-1]]])
-    rep = check_loop_independence(bare, bare_env(good), "L1")
+    rep = check_loop_independence(bare, bare_env(good), "L1", engine=oracle_engine)
     print(f"  oracle on a benign input: {'independent' if rep.independent else 'CONFLICTS'}")
 
     # 3. corrupted input: the oracle shows what the compiler was guarding against
     bad = np.concatenate([corrupted_rowptr(8, seed=5), [corrupted_rowptr(8, seed=5)[-1]]])
-    rep_bad = check_loop_independence(bare, bare_env(bad), "L1")
+    rep_bad = check_loop_independence(bare, bare_env(bad), "L1", engine=oracle_engine)
     print(f"  oracle on a corrupted rowptr: {'independent' if rep_bad.independent else 'CONFLICTS'}")
     for c in rep_bad.conflicts[:3]:
         print(f"    {c.describe()}")

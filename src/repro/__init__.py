@@ -12,8 +12,10 @@ The package implements, from scratch:
   (:mod:`repro.dependence`);
 * the automatic parallelizer emitting annotated C
   (:mod:`repro.parallelizer`);
-* a runtime substrate — interpreter, dynamic independence oracle, machine
-  model, real parallel executor (:mod:`repro.runtime`);
+* a runtime substrate — reference interpreter plus a closure-compiled
+  engine with batched NumPy tracing (``engine="interp"|"compiled"``),
+  dynamic independence oracle, machine model, real parallel executor
+  (:mod:`repro.runtime`, CLI: ``repro bench``);
 * workloads (NPB CG, UA, CSparse equivalents), the figure corpus, the
   Section-2 study and the Figure-10 evaluation harness;
 * a batch analysis service with content-addressed result caching and
@@ -30,9 +32,9 @@ from repro.analysis import PropertyEnv, analyze_function, render_trace
 from repro.dependence import compare_methods, test_loop
 from repro.ir import build_function, build_program, function_to_c
 from repro.parallelizer import parallelize
-from repro.runtime import check_loop_independence, run_function
+from repro.runtime import check_loop_independence, compile_function, execute, run_function
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PropertyEnv",
@@ -41,6 +43,8 @@ __all__ = [
     "build_program",
     "check_loop_independence",
     "compare_methods",
+    "compile_function",
+    "execute",
     "function_to_c",
     "parallelize",
     "render_trace",

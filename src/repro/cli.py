@@ -4,15 +4,19 @@ Usage::
 
     python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
     python -m repro analyze FILE.c [--vars a,b,c]
-    python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH]
+    python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH] [--validate]
+    python -m repro bench [--json PATH] [--size N] [--check]
     python -m repro figure1
     python -m repro figure10
 
 ``parallelize`` prints the OpenMP-annotated C (the paper's artifact);
 ``analyze`` prints the Section-3.5-style trace; ``batch`` runs the
 cached, parallel batch engine over the built-in corpus and/or user C
-files (see :mod:`repro.service`); the ``figure*`` commands regenerate
-the paper's evaluation outputs.
+files (see :mod:`repro.service`) with optional dynamic-oracle validation
+of the PARALLEL verdicts; ``bench`` measures the runtime engines
+(interp vs compiled, see :mod:`repro.runtime.bench`) and writes
+``BENCH_runtime.json``; the ``figure*`` commands regenerate the paper's
+evaluation outputs.
 """
 
 from __future__ import annotations
@@ -64,6 +68,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
         requests_from_source,
     )
 
+    if args.engine and not args.validate:
+        print("error: --engine only applies to --validate", file=sys.stderr)
+        return 2
     requests = []
     if args.corpus or not args.files:
         requests += corpus_requests(method=args.method)
@@ -91,7 +98,59 @@ def cmd_batch(args: argparse.Namespace) -> int:
         Path(args.json).write_text(report.to_json() + "\n")
         if not args.quiet:
             print(f"wrote {args.json}")
-    return 1 if any(not v.ok for v in report.verdicts) else 0
+    status = 1 if any(not v.ok for v in report.verdicts) else 0
+    if args.validate:
+        from repro.service import validate_parallel_verdicts
+
+        problems = validate_parallel_verdicts(report, engine=args.engine)
+        if problems:
+            for name, msgs in sorted(problems.items()):
+                for msg in msgs:
+                    print(f"SOUNDNESS VIOLATION [{name}]: {msg}")
+            status = 1
+        elif not args.quiet:
+            checked = sum(
+                1 for v in report.verdicts if v.ok and v.parallel_loops
+            )
+            print(f"oracle validation: {checked} parallel verdicts spot-checked, all hold")
+    return status
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runtime.bench import (
+        check_regression,
+        render,
+        run_runtime_bench,
+        to_json,
+    )
+
+    try:
+        doc = run_runtime_bench(
+            size=args.size,
+            repeats=args.repeats,
+            fuzz_seeds=args.fuzz_seeds,
+            kernels=args.kernels.split(",") if args.kernels else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(render(doc))
+    if args.json == "-":
+        print(to_json(doc))
+    elif args.json:
+        Path(args.json).write_text(to_json(doc) + "\n")
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    if args.check:
+        problems = check_regression(doc, min_speedup=args.min_speedup)
+        if problems:
+            for p in problems:
+                print(f"PERF REGRESSION: {p}")
+            return 1
+        if not args.quiet:
+            print(f"perf check passed (min speedup {args.min_speedup}x)")
+    return 0
 
 
 def cmd_figure1(args: argparse.Namespace) -> int:
@@ -143,7 +202,29 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
     b.add_argument("--json", default=None, metavar="PATH", help="write the JSON report to PATH ('-' for stdout)")
     b.add_argument("--quiet", action="store_true", help="suppress the summary table")
+    b.add_argument(
+        "--validate",
+        action="store_true",
+        help="spot-check PARALLEL verdicts against the dynamic oracle (corpus kernels)",
+    )
+    b.add_argument(
+        "--engine",
+        default=None,
+        choices=["interp", "compiled"],
+        help="runtime engine for --validate (default: $REPRO_ENGINE or compiled)",
+    )
     b.set_defaults(fn=cmd_batch)
+
+    r = sub.add_parser("bench", help="benchmark the runtime engines (interp vs compiled)")
+    r.add_argument("--json", default=None, metavar="PATH", help="write BENCH_runtime.json to PATH ('-' for stdout)")
+    r.add_argument("--size", type=int, default=20000, help="kernel problem size (default 20000)")
+    r.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default 3)")
+    r.add_argument("--fuzz-seeds", type=int, default=15, help="random kernels in the fuzz sweep (default 15)")
+    r.add_argument("--kernels", default=None, help="comma-separated kernel subset (default: all)")
+    r.add_argument("--check", action="store_true", help="exit 1 unless compiled beats interp on every kernel")
+    r.add_argument("--min-speedup", type=float, default=1.0, help="regression threshold for --check (default 1.0)")
+    r.add_argument("--quiet", action="store_true", help="suppress the summary table")
+    r.set_defaults(fn=cmd_bench)
 
     sub.add_parser("figure1", help="regenerate the Figure 1 study table").set_defaults(
         fn=cmd_figure1

@@ -1,9 +1,26 @@
-"""Runtime substrate: IR interpreter, dynamic independence oracle, the
-modeled machine (Figure 10), and the real parallel executor."""
+"""Runtime substrate: the tree-walking IR interpreter (reference
+semantics), the closure-compiled engine (production path), the dynamic
+independence oracle, the modeled machine (Figure 10), and the real
+parallel executor."""
 
+from repro.runtime.compiler import (
+    CompiledFunction,
+    RunStats,
+    TraceBuffer,
+    compile_function,
+    run_compiled,
+)
+from repro.runtime.engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    default_engine,
+    execute,
+    resolve_engine,
+)
 from repro.runtime.executor import (
     MeasuredPoint,
     MeasuredSeries,
+    measure_oracle_throughput,
     measure_spmv_speedup,
 )
 from repro.runtime.interpreter import Interpreter, run_function
@@ -20,18 +37,29 @@ from repro.runtime.perf_model import (
 
 __all__ = [
     "CgWork",
+    "CompiledFunction",
     "Conflict",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Interpreter",
     "MachineModel",
     "MeasuredPoint",
     "MeasuredSeries",
     "ModeledPoint",
     "OracleReport",
+    "RunStats",
+    "TraceBuffer",
     "cg_time",
     "characterize",
     "check_loop_independence",
+    "compile_function",
+    "default_engine",
+    "execute",
     "figure10_model",
+    "measure_oracle_throughput",
     "measure_spmv_speedup",
+    "resolve_engine",
+    "run_compiled",
     "run_function",
     "speedup_series",
 ]

@@ -1,0 +1,301 @@
+"""Runtime-engine benchmark: interp vs compiled on the oracle/fuzz path.
+
+This is the harness behind ``repro bench`` and
+``benchmarks/bench_runtime_engines.py``.  It measures, per representative
+kernel, the dynamic-oracle (inspector) cost and the plain-execution cost
+on both engines, plus a differential-fuzz sweep (the dominant CI cost the
+compiled backend exists to cut), and emits a JSON document —
+``BENCH_runtime.json`` at the repo root is the committed snapshot.
+
+Reproduce the committed file with a single command::
+
+    PYTHONPATH=src python -m repro bench --json BENCH_runtime.json
+
+Timings vary with the host; the *shape* of the document and the
+correctness fields (verdicts, access counts, ``engines_agree``) are
+deterministic.  ``--check`` exits non-zero unless the compiled engine
+beats the interpreter on every kernel (the CI perf-smoke gate).
+
+Reading ``BENCH_runtime.json``:
+
+* ``kernels[*].oracle`` — per-engine seconds for one oracle inspection,
+  ``speedup`` = interp/compiled, ``accesses_per_s`` = trace throughput;
+* ``kernels[*].execute`` — plain (untraced) execution, same layout;
+* ``fuzz_sweep`` — total seconds to oracle-check every loop of
+  ``seeds`` random kernels per engine;
+* ``summary.oracle_geomean_speedup`` — the headline number tracked
+  across PRs (acceptance floor for this PR: ≥ 5x).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ir import build_function
+from repro.runtime.engines import ENGINES
+from repro.runtime.executor import measure_oracle_throughput
+from repro.runtime.oracle import check_loop_independence
+
+COMMAND = "PYTHONPATH=src python -m repro bench --json BENCH_runtime.json"
+
+# --------------------------------------------------------------------------
+# representative kernels (sized for measurable interpreter times)
+# --------------------------------------------------------------------------
+#
+# Three shapes cover the backend's regimes: a vectorizable scatter
+# through a filled subscript array, a subscripted-subscript gather, and
+# a Figure-9-style rowptr segment walk whose short inner segments keep
+# the *scalar* closure path hot.
+
+_SCATTER_SRC = """
+void scatter(int off[], int data[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) { off[i] = i * 2 + 1; }
+    for (i = 0; i < n; i++) { data[off[i]] = i; }
+}
+"""
+
+_GATHER_SRC = """
+void gather(int idx[], int g[], int v[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) { idx[i] = (i * 3 + 1) % n; }
+    for (i = 0; i < n; i++) { g[i] = v[idx[i]] + 1; }
+}
+"""
+
+_CSR_WALK_SRC = """
+void csr_walk(int sz[], int ptr[], int seg[], int inp[], int n)
+{
+    int i, j;
+    for (i = 0; i < n; i++) { sz[i] = i % 4; }
+    ptr[0] = 0;
+    for (i = 1; i < n + 1; i++) { ptr[i] = ptr[i-1] + sz[i-1]; }
+    for (i = 0; i < n; i++) {
+        for (j = ptr[i]; j < ptr[i+1]; j++) {
+            seg[j] = inp[j] + 1;
+        }
+    }
+}
+"""
+
+
+def _scatter_env(n: int) -> dict[str, Any]:
+    return {"n": n, "off": np.zeros(n, np.int64), "data": np.zeros(2 * n + 2, np.int64)}
+
+
+def _gather_env(n: int) -> dict[str, Any]:
+    return {
+        "n": n,
+        "idx": np.zeros(n, np.int64),
+        "g": np.zeros(n, np.int64),
+        "v": np.arange(n, dtype=np.int64),
+    }
+
+
+def _csr_env(n: int) -> dict[str, Any]:
+    return {
+        "n": n,
+        "sz": np.zeros(n, np.int64),
+        "ptr": np.zeros(n + 1, np.int64),
+        "seg": np.zeros(4 * n + 4, np.int64),
+        "inp": np.ones(4 * n + 4, np.int64),
+    }
+
+
+BENCH_KERNELS: dict[str, tuple[str, str, Callable[[int], dict[str, Any]]]] = {
+    # name -> (source, observed loop, env builder)
+    "scatter_filled": (_SCATTER_SRC, "L2", _scatter_env),
+    "gather_subsub": (_GATHER_SRC, "L2", _gather_env),
+    "csr_segment_walk": (_CSR_WALK_SRC, "L3", _csr_env),
+}
+
+
+def _time_execute(func: Any, env_factory: Callable[[], dict[str, Any]], engine: str, repeats: int) -> float:
+    from repro.runtime.engines import execute
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        env = env_factory()
+        t0 = time.perf_counter()
+        execute(func, env, engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_runtime_bench(
+    size: int = 20000,
+    repeats: int = 3,
+    fuzz_seeds: int = 15,
+    kernels: "list[str] | None" = None,
+) -> dict[str, Any]:
+    """Measure every benchmark kernel and the fuzz sweep; return the
+    JSON-ready document."""
+    chosen = kernels or list(BENCH_KERNELS)
+    unknown = [k for k in chosen if k not in BENCH_KERNELS]
+    if unknown:
+        raise ValueError(
+            f"unknown bench kernel(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(BENCH_KERNELS)})"
+        )
+    doc: dict[str, Any] = {
+        "command": COMMAND,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "params": {"size": size, "repeats": repeats, "fuzz_seeds": fuzz_seeds},
+        "kernels": [],
+    }
+    speedups: list[float] = []
+    for name in chosen:
+        src, label, env_builder = BENCH_KERNELS[name]
+        func = build_function(src)
+        entry: dict[str, Any] = {"name": name, "loop": label, "oracle": {}, "execute": {}}
+        reports = {}
+        for engine in ENGINES:
+            tp = measure_oracle_throughput(
+                func, lambda: env_builder(size), label, engine=engine, repeats=repeats
+            )
+            reports[engine] = tp
+            entry["oracle"][engine] = {
+                "seconds": round(tp.seconds, 6),
+                "accesses": tp.accesses,
+                "accesses_per_s": round(tp.accesses_per_s),
+                "independent": tp.independent,
+                "conflicts": tp.conflicts,
+            }
+            entry["execute"][engine] = {
+                "seconds": round(_time_execute(func, lambda: env_builder(size), engine, repeats), 6)
+            }
+        i, c = reports["interp"], reports["compiled"]
+        entry["oracle"]["speedup"] = round(i.seconds / c.seconds, 2) if c.seconds > 0 else 0.0
+        entry["execute"]["speedup"] = (
+            round(entry["execute"]["interp"]["seconds"] / entry["execute"]["compiled"]["seconds"], 2)
+            if entry["execute"]["compiled"]["seconds"] > 0
+            else 0.0
+        )
+        entry["engines_agree"] = (
+            i.independent == c.independent and i.accesses == c.accesses
+        )
+        speedups.append(max(entry["oracle"]["speedup"], 1e-9))
+        doc["kernels"].append(entry)
+    doc["fuzz_sweep"] = _fuzz_sweep(fuzz_seeds)
+    doc["summary"] = {
+        "oracle_geomean_speedup": round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+        )
+        if speedups
+        else 0.0,
+        "fuzz_sweep_speedup": doc["fuzz_sweep"]["speedup"],
+    }
+    return doc
+
+
+def _copy_env(env: dict[str, Any]) -> dict[str, Any]:
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def _fuzz_sweep(seeds: int) -> dict[str, Any]:
+    """Oracle-check every loop of ``seeds`` random kernels per engine —
+    the differential fuzz suite's dynamic cost, minus the (engine-
+    independent) static analysis and input generation."""
+    from repro.workloads.generators import random_kernel
+
+    prepared = []
+    for seed in range(seeds):
+        rk = random_kernel(seed)
+        func = build_function(rk.source)
+        base = rk.make_inputs(seed)
+        prepared.append((func, [lp.label for lp in func.loops()], base))
+    out: dict[str, Any] = {"seeds": seeds}
+    times: dict[str, float] = {}
+    verdicts: dict[str, list[bool]] = {}
+    for engine in ENGINES:
+        # fresh environments per engine, built outside the timed region
+        # (the oracle mutates them in place)
+        envs = [[_copy_env(base) for _ in labels] for _, labels, base in prepared]
+        t0 = time.perf_counter()
+        flags: list[bool] = []
+        for (func, labels, _), envlist in zip(prepared, envs):
+            for label, env in zip(labels, envlist):
+                rep = check_loop_independence(func, env, label, engine=engine)
+                flags.append(rep.independent)
+        times[engine] = time.perf_counter() - t0
+        verdicts[engine] = flags
+        out[engine] = {"seconds": round(times[engine], 6)}
+    out["speedup"] = (
+        round(times["interp"] / times["compiled"], 2) if times["compiled"] > 0 else 0.0
+    )
+    out["verdicts_agree"] = verdicts["interp"] == verdicts["compiled"]
+    return out
+
+
+def check_regression(doc: dict[str, Any], min_speedup: float = 1.0) -> list[str]:
+    """CI gate: the compiled engine must beat the interpreter on every
+    kernel (generous threshold — a real regression, not noise) and the
+    engines must agree on every verdict."""
+    problems: list[str] = []
+    for entry in doc["kernels"]:
+        if entry["oracle"]["speedup"] <= min_speedup:
+            problems.append(
+                f"{entry['name']}: compiled oracle speedup {entry['oracle']['speedup']}x "
+                f"<= {min_speedup}x"
+            )
+        if not entry["engines_agree"]:
+            problems.append(f"{entry['name']}: engines disagree on the oracle verdict")
+    if not doc["fuzz_sweep"]["verdicts_agree"]:
+        problems.append("fuzz sweep: engine verdicts disagree")
+    return problems
+
+
+def render(doc: dict[str, Any]) -> str:
+    """Human-readable summary table."""
+    from repro.utils.tables import Table
+
+    t = Table(
+        ["kernel", "loop", "interp ms", "compiled ms", "speedup", "Macc/s (compiled)"],
+        title=f"runtime engines — oracle path (size={doc['params']['size']})",
+    )
+    for e in doc["kernels"]:
+        t.add_row(
+            e["name"],
+            e["loop"],
+            f"{e['oracle']['interp']['seconds'] * 1e3:.1f}",
+            f"{e['oracle']['compiled']['seconds'] * 1e3:.1f}",
+            f"{e['oracle']['speedup']:.1f}x",
+            f"{e['oracle']['compiled']['accesses_per_s'] / 1e6:.1f}",
+        )
+    lines = [t.render()]
+    fs = doc["fuzz_sweep"]
+    lines.append(
+        f"fuzz sweep ({fs['seeds']} seeds, every loop): interp {fs['interp']['seconds'] * 1e3:.0f} ms, "
+        f"compiled {fs['compiled']['seconds'] * 1e3:.0f} ms — {fs['speedup']:.1f}x, "
+        f"verdicts {'agree' if fs['verdicts_agree'] else 'DISAGREE'}"
+    )
+    lines.append(
+        f"geomean oracle speedup: {doc['summary']['oracle_geomean_speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def to_json(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "BENCH_KERNELS",
+    "COMMAND",
+    "check_regression",
+    "render",
+    "run_runtime_bench",
+    "to_json",
+]

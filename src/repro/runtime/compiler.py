@@ -1,0 +1,1009 @@
+"""Compiled runtime backend: one-pass lowering of the mini-C IR to
+nested Python closures, with a batched NumPy trace protocol.
+
+The tree-walking :mod:`repro.runtime.interpreter` pays, on every executed
+node, for ``isinstance`` dispatch, attribute lookups, the
+``_Break``/``_Continue`` exception machinery, and — under the oracle —
+one Python callback per array-element access.  This module removes all
+four costs while keeping the observable semantics identical:
+
+* **Closure lowering** — :func:`compile_function` walks the IR once and
+  emits, per node, a closure ``(env, rt) -> value`` (expressions) or
+  ``(env, rt) -> signal`` (statements) that captures its compiled
+  children.  Dispatch happens once at compile time; at run time each
+  node is a direct call.  ``break``/``continue``/``return`` become
+  sentinel return values threaded through block closures instead of
+  exceptions.
+* **Batched tracing** — instead of the interpreter's per-access
+  ``Recorder`` callback, the compiled runtime appends
+  ``(array_id, flat_index, is_write, activation, iteration)`` rows into
+  the preallocated NumPy column buffers of a :class:`TraceBuffer`.  The
+  oracle consumes the columns with vectorized ``np.unique``/join logic
+  (see :mod:`repro.runtime.oracle`) instead of millions of callbacks.
+  Rows are recorded exactly when the interpreter's recorder would have
+  been invoked with a non-``None`` iteration, so per-activation conflict
+  scoping is bit-identical.
+* **Vectorized fast path** — an innermost counted loop whose body is
+  straight-line array assignments (no ifs/calls/breaks, targets written
+  at most once, written arrays never read in the body) is executed as
+  whole-array NumPy operations: the loop variable becomes an
+  ``np.arange`` vector, gathers/scatters become fancy indexing, and
+  trace rows are appended as whole blocks.  Any condition the fast path
+  cannot reproduce exactly at run time (out-of-bounds access, zero
+  divisor, non-integer index, step-budget exhaustion mid-loop) falls
+  back to the scalar closure loop, which replays the activation from
+  scratch with unchanged semantics — including partial side effects
+  before a raised :class:`~repro.errors.InterpreterError`.
+
+Divergence from the interpreter (documented, not observable through the
+oracle or kernel outputs): the ``max_steps`` budget is enforced at loop
+granularity (≈ one tick per statement per iteration) rather than per
+node, so the exact step count at which a runaway loop is cut off may
+differ slightly; and a value too large for an int64 array element fails
+the store with NumPy's ``OverflowError`` (direct indexed assignment)
+where the interpreter's ``.flat`` assignment raises ``ValueError`` —
+same failure point, same partial effects, different exception class.
+Int arithmetic *inside* the vectorized fast path never wraps: every op
+bounds its operands with exact Python-int reductions and falls back to
+the scalar replay when a result could leave int64.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.ir.nodes import (
+    IArrayRef,
+    IBin,
+    ICall,
+    IConst,
+    IExpr,
+    IFloat,
+    IRFunction,
+    IUn,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+
+#: minimum trip count before the vectorized fast path is attempted; for
+#: shorter activations the per-activation NumPy overhead (arange, fancy
+#: indexing set-up) exceeds the scalar closure loop's cost.
+VEC_MIN_TRIPS = 8
+
+# control-flow signals (replace the interpreter's exceptions on the hot path)
+_BREAK = object()
+_CONTINUE = object()
+_RETURN = object()
+
+
+class _VecFallback(Exception):
+    """Internal: the vectorized fast path cannot reproduce this
+    activation exactly — replay it through the scalar closures."""
+
+
+# --------------------------------------------------------------------------
+# batched trace buffer
+# --------------------------------------------------------------------------
+
+
+class TraceBuffer:
+    """Preallocated, growable NumPy column store for access records.
+
+    One row per recorded array access:
+    ``(array_id, flat_index, is_write, activation, iteration)``.
+    ``array_id`` indexes :attr:`names`.  Scalar appends come from the
+    compiled scalar path; the vectorized fast path appends whole blocks.
+    """
+
+    __slots__ = ("names", "cap", "n", "arr", "flat", "write", "act", "idx")
+
+    def __init__(self, names: Sequence[str], capacity: int = 4096) -> None:
+        self.names = list(names)
+        self.cap = max(int(capacity), 16)
+        self.n = 0
+        self.arr = np.empty(self.cap, dtype=np.int32)
+        self.flat = np.empty(self.cap, dtype=np.int64)
+        self.write = np.empty(self.cap, dtype=np.bool_)
+        self.act = np.empty(self.cap, dtype=np.int64)
+        self.idx = np.empty(self.cap, dtype=np.int64)
+
+    def _grow(self, need: int) -> None:
+        cap = self.cap
+        while cap < need:
+            cap *= 2
+        for name in ("arr", "flat", "write", "act", "idx"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self.n] = old[: self.n]
+            setattr(self, name, new)
+        self.cap = cap
+
+    def append(self, aid: int, flat: int, is_write: bool, act: int, idx: int) -> None:
+        n = self.n
+        if n >= self.cap:
+            self._grow(n + 1)
+        self.arr[n] = aid
+        self.flat[n] = flat
+        self.write[n] = is_write
+        self.act[n] = act
+        self.idx[n] = idx
+        self.n = n + 1
+
+    def extend(self, aid: int, flats: Any, is_write: bool, acts: Any, idxs: Any, m: int) -> None:
+        """Append ``m`` rows at once; ``flats``/``acts``/``idxs`` may be
+        scalars (broadcast) or length-``m`` vectors."""
+        n = self.n
+        need = n + m
+        if need > self.cap:
+            self._grow(need)
+        sl = slice(n, need)
+        self.arr[sl] = aid
+        self.flat[sl] = flats
+        self.write[sl] = is_write
+        self.act[sl] = acts
+        self.idx[sl] = idxs
+        self.n = need
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Trimmed views ``(array_id, flat, is_write, activation, iteration)``."""
+        n = self.n
+        return (
+            self.arr[:n],
+            self.flat[:n],
+            self.write[:n],
+            self.act[:n],
+            self.idx[:n],
+        )
+
+
+# --------------------------------------------------------------------------
+# run-time state
+# --------------------------------------------------------------------------
+
+
+class _Rt:
+    """Mutable per-run state threaded through every closure."""
+
+    __slots__ = (
+        "trace",
+        "observe",
+        "cur",
+        "activations",
+        "steps",
+        "max_steps",
+        "retval",
+        "vec_activations",
+        "vec_fallbacks",
+    )
+
+    def __init__(self, trace: TraceBuffer | None, observe: str | None, max_steps: int) -> None:
+        self.trace = trace
+        self.observe = observe
+        self.cur: tuple[int, int] | None = None  # (activation, iteration) of the observed loop
+        self.activations = 0
+        self.steps = 0
+        self.max_steps = max_steps
+        self.retval: Any = None
+        self.vec_activations = 0
+        self.vec_fallbacks = 0
+
+
+class RunStats:
+    """Counters from one :meth:`CompiledFunction.run` call."""
+
+    __slots__ = ("steps", "activations", "vec_activations", "vec_fallbacks")
+
+    def __init__(self, rt: _Rt) -> None:
+        self.steps = rt.steps
+        self.activations = rt.activations
+        self.vec_activations = rt.vec_activations
+        self.vec_fallbacks = rt.vec_fallbacks
+
+
+def _truthy(v: Any) -> bool:
+    return bool(v)
+
+
+def _as_int(v: Any) -> int:
+    if isinstance(v, (int, np.integer)):
+        return int(v)
+    if isinstance(v, float) and v.is_integer():
+        return int(v)
+    raise InterpreterError(f"expected integer, got {v!r}")
+
+
+def _is_int_like(v: Any) -> bool:
+    if isinstance(v, np.ndarray):
+        return issubclass(v.dtype.type, np.integer)
+    return isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+
+
+# --------------------------------------------------------------------------
+# the compiler
+# --------------------------------------------------------------------------
+
+
+ExprFn = Callable[[dict, _Rt], Any]
+StmtFn = Callable[[dict, _Rt], Any]
+VecFn = Callable[[dict, Any, list], Any]
+
+_VEC_ARITH = {"+", "-", "*", "/", "%"}
+_VEC_CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class _Compiler:
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self.array_ids: dict[str, int] = {}
+
+    def _aid(self, name: str) -> int:
+        if name not in self.array_ids:
+            self.array_ids[name] = len(self.array_ids)
+        return self.array_ids[name]
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, e: IExpr) -> ExprFn:
+        if isinstance(e, (IConst, IFloat)):
+            v = e.value
+            return lambda env, rt: v
+        if isinstance(e, IVar):
+            name = e.name
+
+            def var(env: dict, rt: _Rt) -> Any:
+                try:
+                    return env[name]
+                except KeyError:
+                    raise InterpreterError(f"unbound variable {name}") from None
+
+            return var
+        if isinstance(e, IArrayRef):
+            return self._aref_read(e)
+        if isinstance(e, IUn):
+            f = self.expr(e.operand)
+            if e.op == "-":
+                return lambda env, rt: -f(env, rt)
+            if e.op == "!":
+                return lambda env, rt: 0 if _truthy(f(env, rt)) else 1
+            raise InterpreterError(f"unknown unary {e.op}")
+        if isinstance(e, IBin):
+            return self._binop(e)
+        if isinstance(e, ICall):
+            return self._call(e)
+        raise InterpreterError(f"cannot compile {e!r}")
+
+    def _binop(self, e: IBin) -> ExprFn:
+        op = e.op
+        lf = self.expr(e.left)
+        rf = self.expr(e.right)
+        if op == "&&":
+            return lambda env, rt: 1 if (_truthy(lf(env, rt)) and _truthy(rf(env, rt))) else 0
+        if op == "||":
+            return lambda env, rt: 1 if (_truthy(lf(env, rt)) or _truthy(rf(env, rt))) else 0
+        if op == "+":
+            return lambda env, rt: lf(env, rt) + rf(env, rt)
+        if op == "-":
+            return lambda env, rt: lf(env, rt) - rf(env, rt)
+        if op == "*":
+            return lambda env, rt: lf(env, rt) * rf(env, rt)
+        if op == "/":
+
+            def div(env: dict, rt: _Rt) -> Any:
+                a = lf(env, rt)
+                b = rf(env, rt)
+                if b == 0:
+                    raise InterpreterError("division by zero")
+                if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+                    q = abs(a) // abs(b)
+                    return q if (a >= 0) == (b >= 0) else -q  # C truncation
+                return a / b
+
+            return div
+        if op == "%":
+
+            def rem(env: dict, rt: _Rt) -> Any:
+                a = lf(env, rt)
+                b = rf(env, rt)
+                if b == 0:
+                    raise InterpreterError("modulo by zero")
+                r = abs(a) % abs(b)
+                return r if a >= 0 else -r  # C sign semantics
+
+            return rem
+        if op == "<":
+            return lambda env, rt: 1 if lf(env, rt) < rf(env, rt) else 0
+        if op == "<=":
+            return lambda env, rt: 1 if lf(env, rt) <= rf(env, rt) else 0
+        if op == ">":
+            return lambda env, rt: 1 if lf(env, rt) > rf(env, rt) else 0
+        if op == ">=":
+            return lambda env, rt: 1 if lf(env, rt) >= rf(env, rt) else 0
+        if op == "==":
+            return lambda env, rt: 1 if lf(env, rt) == rf(env, rt) else 0
+        if op == "!=":
+            return lambda env, rt: 1 if lf(env, rt) != rf(env, rt) else 0
+        raise InterpreterError(f"unknown operator {op}")
+
+    _BUILTINS: dict[str, Callable[..., Any]] = {
+        "abs": lambda x: abs(x),
+        "min": lambda a, b: min(a, b),
+        "max": lambda a, b: max(a, b),
+        "printf": lambda *a: 0,
+    }
+
+    def _call(self, e: ICall) -> ExprFn:
+        # the interpreter silently drops IVar arguments that are not
+        # bound in the environment (printf-style calls); replicate that
+        pairs = tuple(
+            (self.expr(a), a.name if isinstance(a, IVar) else None) for a in e.args
+        )
+        fn = self._BUILTINS.get(e.name)
+        if fn is None:
+            name = e.name
+
+            def unknown(env: dict, rt: _Rt) -> Any:
+                raise InterpreterError(f"call to unknown function {name!r}")
+
+            return unknown
+
+        def call(env: dict, rt: _Rt) -> Any:
+            args = [c(env, rt) for c, nm in pairs if nm is None or nm in env]
+            return fn(*args)
+
+        return call
+
+    def _locate(self, ref: IArrayRef) -> Callable[[dict, _Rt], tuple[np.ndarray, int]]:
+        """Closure computing ``(array, flat_index)`` with the
+        interpreter's bounds/rank checks (multi-dimensional refs; the
+        1-D case is inlined into the read/store closures)."""
+        name = ref.array
+        idx_fns = tuple(self.expr(i) for i in ref.indices)
+
+        def locate(env: dict, rt: _Rt) -> tuple[np.ndarray, int]:
+            arr = env.get(name)
+            if not isinstance(arr, np.ndarray):
+                raise InterpreterError(f"{name} is not an array")
+            idx = [_as_int(f(env, rt)) for f in idx_fns]
+            if len(idx) != arr.ndim:
+                raise InterpreterError(
+                    f"{name}: rank mismatch ({len(idx)} subscripts, {arr.ndim} dims)"
+                )
+            flat = 0
+            for d, i in enumerate(idx):
+                if not 0 <= i < arr.shape[d]:
+                    raise InterpreterError(
+                        f"{name}: index {i} out of bounds for dim {d} (size {arr.shape[d]})"
+                    )
+                flat = flat * arr.shape[d] + i
+            return arr, flat
+
+        return locate
+
+    def _aref_read(self, e: IArrayRef) -> ExprFn:
+        aid = self._aid(e.array)
+        if len(e.indices) == 1:
+            name = e.array
+            idx0 = self.expr(e.indices[0])
+
+            def read1(env: dict, rt: _Rt) -> Any:
+                arr = env.get(name)
+                if not isinstance(arr, np.ndarray):
+                    raise InterpreterError(f"{name} is not an array")
+                i = idx0(env, rt)
+                if type(i) is not int:
+                    i = _as_int(i)
+                if arr.ndim != 1:
+                    raise InterpreterError(
+                        f"{name}: rank mismatch (1 subscripts, {arr.ndim} dims)"
+                    )
+                if not 0 <= i < arr.shape[0]:
+                    raise InterpreterError(
+                        f"{name}: index {i} out of bounds for dim 0 (size {arr.shape[0]})"
+                    )
+                cur = rt.cur
+                if cur is not None and rt.trace is not None:
+                    rt.trace.append(aid, i, False, cur[0], cur[1])
+                return arr[i]
+
+            return read1
+        locate = self._locate(e)
+
+        def read(env: dict, rt: _Rt) -> Any:
+            arr, flat = locate(env, rt)
+            cur = rt.cur
+            if cur is not None and rt.trace is not None:
+                rt.trace.append(aid, flat, False, cur[0], cur[1])
+            return arr.flat[flat]
+
+        return read
+
+    # -- statements ---------------------------------------------------------
+    def block(self, stmts: list[Stmt]) -> StmtFn:
+        fns = tuple(self.stmt(s) for s in stmts)
+        if len(fns) == 1:
+            return fns[0]
+
+        def blk(env: dict, rt: _Rt) -> Any:
+            for f in fns:
+                sig = f(env, rt)
+                if sig is not None:
+                    return sig
+            return None
+
+        return blk
+
+    def stmt(self, s: Stmt) -> StmtFn:
+        if isinstance(s, SAssign):
+            return self._assign(s)
+        if isinstance(s, SIf):
+            cf = self.expr(s.cond)
+            tb = self.block(s.then)
+            ob = self.block(s.other)
+            return lambda env, rt: tb(env, rt) if _truthy(cf(env, rt)) else ob(env, rt)
+        if isinstance(s, SLoop):
+            return self._loop(s)
+        if isinstance(s, SWhile):
+            return self._while(s)
+        if isinstance(s, SCall):
+            cf = self.expr(s.call)
+
+            def callstmt(env: dict, rt: _Rt) -> Any:
+                cf(env, rt)
+                return None
+
+            return callstmt
+        if isinstance(s, SReturn):
+            if s.value is None:
+                def retnone(env: dict, rt: _Rt) -> Any:
+                    rt.retval = None
+                    return _RETURN
+
+                return retnone
+            vf = self.expr(s.value)
+
+            def ret(env: dict, rt: _Rt) -> Any:
+                rt.retval = vf(env, rt)
+                return _RETURN
+
+            return ret
+        if isinstance(s, SBreak):
+            return lambda env, rt: _BREAK
+        if isinstance(s, SContinue):
+            return lambda env, rt: _CONTINUE
+        raise InterpreterError(f"cannot compile {s!r}")
+
+    def _assign(self, s: SAssign) -> StmtFn:
+        vf = self.expr(s.value)
+        if isinstance(s.target, IVar):
+            name = s.target.name
+
+            def setvar(env: dict, rt: _Rt) -> Any:
+                env[name] = vf(env, rt)
+                return None
+
+            return setvar
+        aid = self._aid(s.target.array)
+        if len(s.target.indices) == 1:
+            name = s.target.array
+            idx0 = self.expr(s.target.indices[0])
+
+            def store1(env: dict, rt: _Rt) -> Any:
+                value = vf(env, rt)
+                arr = env.get(name)
+                if not isinstance(arr, np.ndarray):
+                    raise InterpreterError(f"{name} is not an array")
+                i = idx0(env, rt)
+                if type(i) is not int:
+                    i = _as_int(i)
+                if arr.ndim != 1:
+                    raise InterpreterError(
+                        f"{name}: rank mismatch (1 subscripts, {arr.ndim} dims)"
+                    )
+                if not 0 <= i < arr.shape[0]:
+                    raise InterpreterError(
+                        f"{name}: index {i} out of bounds for dim 0 (size {arr.shape[0]})"
+                    )
+                cur = rt.cur
+                if cur is not None and rt.trace is not None:
+                    rt.trace.append(aid, i, True, cur[0], cur[1])
+                arr[i] = value
+                return None
+
+            return store1
+        locate = self._locate(s.target)
+
+        def store(env: dict, rt: _Rt) -> Any:
+            value = vf(env, rt)
+            arr, flat = locate(env, rt)
+            cur = rt.cur
+            if cur is not None and rt.trace is not None:
+                rt.trace.append(aid, flat, True, cur[0], cur[1])
+            arr.flat[flat] = value
+            return None
+
+        return store
+
+    def _while(self, s: SWhile) -> StmtFn:
+        cf = self.expr(s.cond)
+        body = self.block(s.body)
+        cost = len(s.body) + 1
+
+        def wh(env: dict, rt: _Rt) -> Any:
+            while _truthy(cf(env, rt)):
+                rt.steps += cost
+                if rt.steps > rt.max_steps:
+                    raise InterpreterError(f"step budget exceeded ({rt.max_steps})")
+                sig = body(env, rt)
+                if sig is not None:
+                    if sig is _BREAK:
+                        break
+                    if sig is not _CONTINUE:
+                        return sig
+            return None
+
+        return wh
+
+    def _var_modified(self, stmts: list[Stmt], var: str) -> bool:
+        """May executing ``stmts`` rebind ``var``?  (The IR permits a
+        body to modify its loop variable; when it provably cannot, the
+        loop closure advances a local instead of re-reading the env.)"""
+        for s in stmts:
+            if isinstance(s, SAssign) and isinstance(s.target, IVar) and s.target.name == var:
+                return True
+            if isinstance(s, SLoop) and s.var == var:
+                return True
+            for b in s.blocks():
+                if self._var_modified(b, var):
+                    return True
+        return False
+
+    def _loop(self, s: SLoop) -> StmtFn:
+        lbf = self.expr(s.lb)
+        ubf = self.expr(s.ub)
+        body = self.block(s.body)
+        label = s.label
+        var = s.var
+        step = s.step
+        up = step > 0
+        cost = len(s.body) + 1
+        var_dyn = self._var_modified(s.body, var)
+        vec = self._vector_plan(s, cost)
+
+        def loop(env: dict, rt: _Rt) -> Any:
+            lb = _as_int(lbf(env, rt))
+            ub = _as_int(ubf(env, rt))
+            observed = label == rt.observe
+            act = 0
+            if observed:
+                rt.activations += 1
+                act = rt.activations
+            if vec is not None and vec.execute(env, rt, lb, ub, act if observed else 0):
+                return None
+            i = lb
+            it = 0
+            outer = rt.cur
+            while (i < ub) if up else (i > ub):
+                rt.steps += cost
+                if rt.steps > rt.max_steps:
+                    raise InterpreterError(f"step budget exceeded ({rt.max_steps})")
+                env[var] = i
+                if observed:
+                    rt.cur = (act, it)
+                sig = body(env, rt)
+                if observed:
+                    rt.cur = outer
+                if sig is not None:
+                    if sig is _BREAK:
+                        break
+                    if sig is not _CONTINUE:
+                        return sig
+                # the body may have modified the loop variable
+                i = (_as_int(env[var]) if var_dyn else i) + step
+                it += 1
+            env[var] = i
+            return None
+
+        return loop
+
+    # -- vectorized fast path ----------------------------------------------
+    def _vector_plan(self, s: SLoop, cost: int) -> "_VecPlan | None":
+        """Compile-time eligibility test + lowering for the whole-array
+        fast path.  Returns ``None`` when the loop shape is unsupported;
+        run-time conditions are re-checked per activation by
+        :meth:`_VecPlan.execute`."""
+        written: list[str] = []
+        read_arrays: set[str] = set()
+        for st in s.body:
+            if not isinstance(st, SAssign):
+                return None
+            t = st.target
+            if not isinstance(t, IArrayRef) or len(t.indices) != 1:
+                return None
+            written.append(t.array)
+            for e in (st.value, t.indices[0]):
+                read_arrays.update(
+                    node.array for node in e.walk() if isinstance(node, IArrayRef)
+                )
+            if not self._vec_supported(st.value) or not self._vec_supported(t.indices[0]):
+                return None
+        if len(set(written)) != len(written):
+            return None  # two statements scatter into the same array
+        if read_arrays & set(written):
+            return None  # loop-carried through an array: stay sequential
+        stmts = tuple(
+            (
+                st.target.array,
+                self._aid(st.target.array),
+                self._vec_expr(st.target.indices[0], s.var),
+                self._vec_expr(st.value, s.var),
+            )
+            for st in s.body
+        )
+        return _VecPlan(s.var, s.step, stmts, cost)
+
+    def _vec_supported(self, e: IExpr) -> bool:
+        if isinstance(e, (IConst, IFloat, IVar)):
+            return True
+        if isinstance(e, IArrayRef):
+            return len(e.indices) == 1 and self._vec_supported(e.indices[0])
+        if isinstance(e, IUn):
+            return e.op in ("-", "!") and self._vec_supported(e.operand)
+        if isinstance(e, IBin):
+            # && / || short-circuit per element in the interpreter (their
+            # unevaluated side records no reads), so they are excluded
+            if e.op not in _VEC_ARITH and e.op not in _VEC_CMP:
+                return False
+            return self._vec_supported(e.left) and self._vec_supported(e.right)
+        return False
+
+    def _vec_expr(self, e: IExpr, loopvar: str) -> VecFn:
+        """Compile ``e`` to a vector closure ``(env, iv, reads) -> value``
+        where ``iv`` is the iteration vector and ``reads`` collects
+        ``(array_id, flat_indices)`` pairs in evaluation order."""
+        if isinstance(e, (IConst, IFloat)):
+            v = e.value
+            return lambda env, iv, reads: v
+        if isinstance(e, IVar):
+            if e.name == loopvar:
+                return lambda env, iv, reads: iv
+            name = e.name
+
+            def vvar(env: dict, iv: Any, reads: list) -> Any:
+                try:
+                    v = env[name]
+                except KeyError:
+                    raise _VecFallback from None
+                if isinstance(v, np.ndarray):
+                    raise _VecFallback  # whole-array scalar use: let the scalar path judge
+                return v
+
+            return vvar
+        if isinstance(e, IArrayRef):
+            name = e.array
+            aid = self._aid(name)
+            idxf = self._vec_expr(e.indices[0], loopvar)
+
+            def vread(env: dict, iv: Any, reads: list) -> Any:
+                arr = env.get(name)
+                if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+                    raise _VecFallback
+                j = _vec_index(idxf(env, iv, reads), arr.shape[0])
+                reads.append((aid, j))
+                return arr[j]
+
+            return vread
+        if isinstance(e, IUn):
+            f = self._vec_expr(e.operand, loopvar)
+            if e.op == "-":
+                return lambda env, iv, reads: _vec_neg(f(env, iv, reads))
+
+            def vnot(env: dict, iv: Any, reads: list) -> Any:
+                v = f(env, iv, reads)
+                r = v == 0
+                return r.astype(np.int64) if isinstance(r, np.ndarray) else int(r)
+
+            return vnot
+        assert isinstance(e, IBin)
+        op = e.op
+        lf = self._vec_expr(e.left, loopvar)
+        rf = self._vec_expr(e.right, loopvar)
+        if op == "+":
+            return lambda env, iv, reads: _vec_add(lf(env, iv, reads), rf(env, iv, reads), 1)
+        if op == "-":
+            return lambda env, iv, reads: _vec_add(lf(env, iv, reads), rf(env, iv, reads), -1)
+        if op == "*":
+            return lambda env, iv, reads: _vec_mul(lf(env, iv, reads), rf(env, iv, reads))
+        if op == "/":
+            return lambda env, iv, reads: _vec_div(lf(env, iv, reads), rf(env, iv, reads))
+        if op == "%":
+            return lambda env, iv, reads: _vec_mod(lf(env, iv, reads), rf(env, iv, reads))
+
+        def vcmp(env: dict, iv: Any, reads: list) -> Any:
+            a = lf(env, iv, reads)
+            b = rf(env, iv, reads)
+            r = _CMPS[op](a, b)
+            return r.astype(np.int64) if isinstance(r, np.ndarray) else int(r)
+
+        return vcmp
+
+
+_CMPS: dict[str, Callable[[Any, Any], Any]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _vec_index(j: Any, size: int) -> Any:
+    """Validate an index value/vector: integral and in ``[0, size)``.
+    Returns a python int or an int64 vector; raises :class:`_VecFallback`
+    otherwise (the scalar replay produces the exact error)."""
+    if isinstance(j, np.ndarray):
+        if not issubclass(j.dtype.type, np.integer):
+            raise _VecFallback
+        if j.size and (int(j.min()) < 0 or int(j.max()) >= size):
+            raise _VecFallback
+        return j
+    if isinstance(j, (int, np.integer)) and not isinstance(j, bool):
+        j = int(j)
+        if not 0 <= j < size:
+            raise _VecFallback
+        return j
+    raise _VecFallback
+
+
+# -- overflow discipline ------------------------------------------------------
+#
+# The interpreter computes scalar intermediates as arbitrary-precision
+# Python ints; the vector path computes in int64, which *wraps* silently.
+# Every int arithmetic op therefore bounds its operands (exact Python-int
+# reductions) and falls back to the scalar replay whenever a result could
+# leave int64 — the replay then reproduces the interpreter bit-for-bit,
+# including the store-time error an oversized value provokes.  Float
+# arithmetic needs no guard (both engines use IEEE doubles elementwise),
+# but a non-finite or int64-oversized float must not reach an int-array
+# commit (checked in :meth:`_VecPlan.execute`).
+
+_INT64_MAX = 2**63 - 1
+
+
+def _vec_bound(x: Any) -> int:
+    """Exact max-abs of an int-like operand, as a Python int."""
+    if isinstance(x, np.ndarray):
+        if x.size == 0:
+            return 0
+        return max(abs(int(x.min())), abs(int(x.max())))
+    return abs(int(x))
+
+
+def _vec_add(a: Any, b: Any, sign: int) -> Any:
+    if _is_int_like(a) and _is_int_like(b):
+        if _vec_bound(a) + _vec_bound(b) > _INT64_MAX:
+            raise _VecFallback
+    return a + b if sign > 0 else a - b
+
+
+def _vec_mul(a: Any, b: Any) -> Any:
+    if _is_int_like(a) and _is_int_like(b):
+        if _vec_bound(a) * _vec_bound(b) > _INT64_MAX:
+            raise _VecFallback
+    return a * b
+
+
+def _vec_neg(a: Any) -> Any:
+    if _is_int_like(a) and _vec_bound(a) > _INT64_MAX:
+        raise _VecFallback  # negating int64.min wraps
+    return -a
+
+
+def _vec_div(a: Any, b: Any) -> Any:
+    scalar = not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray)
+    if scalar:
+        if b == 0:
+            raise _VecFallback
+        if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+        return a / b
+    if np.any(b == 0):
+        raise _VecFallback
+    if _is_int_like(a) and _is_int_like(b):
+        if _vec_bound(a) > _INT64_MAX or _vec_bound(b) > _INT64_MAX:
+            raise _VecFallback  # np.abs(int64.min) wraps
+        q = np.abs(a) // np.abs(b)
+        return np.where((a >= 0) == (b >= 0), q, -q)
+    return a / b
+
+
+def _vec_mod(a: Any, b: Any) -> Any:
+    scalar = not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray)
+    if scalar:
+        if b == 0:
+            raise _VecFallback
+        r = abs(a) % abs(b)
+        return r if a >= 0 else -r
+    if np.any(b == 0):
+        raise _VecFallback
+    if _is_int_like(a) and _is_int_like(b):
+        if _vec_bound(a) > _INT64_MAX or _vec_bound(b) > _INT64_MAX:
+            raise _VecFallback  # np.abs(int64.min) wraps
+    r = np.abs(a) % np.abs(b)
+    return np.where(a >= 0, r, -r)
+
+
+def _check_storable(val: Any, arr: np.ndarray) -> None:
+    """Commit-phase precondition: storing ``val`` into ``arr`` must not
+    be able to raise (a non-finite or int64-oversized float into an int
+    array would), otherwise the activation must be replayed through the
+    scalar path so the error lands with the interpreter's exact partial
+    effects."""
+    if issubclass(arr.dtype.type, np.integer):
+        if isinstance(val, np.ndarray):
+            if not issubclass(val.dtype.type, np.integer):
+                if not np.isfinite(val).all() or np.any(np.abs(val) >= 2.0**63):
+                    raise _VecFallback
+        elif isinstance(val, float) and not (-(2.0**63) < val < 2.0**63):
+            raise _VecFallback
+
+
+class _VecPlan:
+    """Run-time executor for one vectorizable loop."""
+
+    __slots__ = ("var", "step", "stmts", "cost")
+
+    def __init__(
+        self,
+        var: str,
+        step: int,
+        stmts: tuple[tuple[str, int, VecFn, VecFn], ...],
+        cost: int,
+    ) -> None:
+        self.var = var
+        self.step = step
+        self.stmts = stmts
+        self.cost = cost
+
+    def execute(self, env: dict, rt: _Rt, lb: int, ub: int, act: int) -> bool:
+        """Attempt the whole-array execution of one activation.
+        ``act > 0`` iff this loop is the observed loop.  Returns ``True``
+        when committed (``env[var]`` already holds the exit value);
+        ``False`` means no effect happened — run the scalar loop."""
+        step = self.step
+        if step > 0:
+            m = (ub - lb + step - 1) // step if ub > lb else 0
+        else:
+            m = (lb - ub - step - 1) // (-step) if lb > ub else 0
+        if m == 0:
+            env[self.var] = lb
+            return True
+        if m < VEC_MIN_TRIPS:
+            return False
+        if rt.steps + m * self.cost > rt.max_steps:
+            return False  # budget would trip mid-loop: scalar path raises exactly
+        iv = lb + step * np.arange(m, dtype=np.int64)
+        plan: list[tuple[np.ndarray, int, Any, Any, list]] = []
+        try:
+            for name, aid, idxf, valf in self.stmts:
+                reads: list = []
+                # the interpreter evaluates the value before locating the
+                # target, so reads collect in that order
+                val = valf(env, iv, reads)
+                arr = env.get(name)
+                if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+                    raise _VecFallback
+                tvi = _vec_index(idxf(env, iv, reads), arr.shape[0])
+                _check_storable(val, arr)
+                plan.append((arr, aid, tvi, val, reads))
+        except _VecFallback:
+            rt.vec_fallbacks += 1
+            return False
+        # ---- commit: no error is possible past this point ----
+        rt.steps += m * self.cost
+        trace = rt.trace
+        tracing = trace is not None and (act > 0 or rt.cur is not None)
+        if tracing:
+            if act > 0:
+                acts: Any = act
+                idxs: Any = np.arange(m, dtype=np.int64)
+            else:
+                acts, idxs = rt.cur  # type: ignore[misc]
+        for arr, aid, tvi, val, reads in plan:
+            if tracing:
+                for raid, rvec in reads:
+                    trace.extend(raid, rvec, False, acts, idxs, m)  # type: ignore[union-attr]
+                trace.extend(aid, tvi, True, acts, idxs, m)  # type: ignore[union-attr]
+            if isinstance(tvi, np.ndarray):
+                # duplicate indices: NumPy assigns in index order, so the
+                # last iteration wins — identical to sequential execution
+                arr[tvi] = val
+            else:
+                arr[tvi] = val[m - 1] if isinstance(val, np.ndarray) else val
+        env[self.var] = lb + m * step
+        rt.vec_activations += 1
+        return True
+
+
+# --------------------------------------------------------------------------
+# public API
+# --------------------------------------------------------------------------
+
+
+class CompiledFunction:
+    """One IR function lowered to closures; reusable across runs."""
+
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        c = _Compiler(func)
+        self._body = c.block(func.body)
+        #: array names in ``array_id`` order (trace decoding)
+        self.array_names: list[str] = [
+            n for n, _ in sorted(c.array_ids.items(), key=lambda kv: kv[1])
+        ]
+        self.last_stats: RunStats | None = None
+
+    def new_trace(self, capacity: int = 4096) -> TraceBuffer:
+        return TraceBuffer(self.array_names, capacity)
+
+    def run(
+        self,
+        env: dict[str, Any],
+        trace: TraceBuffer | None = None,
+        observe_label: str | None = None,
+        max_steps: int = 50_000_000,
+    ) -> dict[str, Any]:
+        """Execute over ``env`` (arrays modified in place), recording
+        accesses of the loop labeled ``observe_label`` into ``trace``."""
+        rt = _Rt(trace, observe_label, max_steps)
+        self._body(env, rt)
+        self.last_stats = RunStats(rt)
+        return env
+
+
+_CACHE: dict[int, tuple[IRFunction, CompiledFunction]] = {}
+_CACHE_LIMIT = 256
+
+
+def compile_function(func: IRFunction) -> CompiledFunction:
+    """Lower ``func`` to closures (memoized per function object)."""
+    hit = _CACHE.get(id(func))
+    if hit is not None and hit[0] is func:
+        return hit[1]
+    compiled = CompiledFunction(func)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[id(func)] = (func, compiled)
+    return compiled
+
+
+def run_compiled(
+    func: IRFunction,
+    env: dict[str, Any],
+    trace: TraceBuffer | None = None,
+    observe_label: str | None = None,
+    max_steps: int = 50_000_000,
+) -> dict[str, Any]:
+    """Convenience wrapper: compile (cached) and run."""
+    return compile_function(func).run(env, trace, observe_label, max_steps)
+
+
+__all__ = [
+    "CompiledFunction",
+    "RunStats",
+    "TraceBuffer",
+    "VEC_MIN_TRIPS",
+    "compile_function",
+    "run_compiled",
+]

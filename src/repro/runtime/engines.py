@@ -1,0 +1,71 @@
+"""Runtime engine registry: one switch for every dynamic-execution path.
+
+Two engines execute the mini-C IR:
+
+* ``"interp"`` — the tree-walking :mod:`repro.runtime.interpreter`; the
+  *reference semantics*.  Slow, simple, and the yardstick every other
+  engine is differentially tested against
+  (``tests/test_engine_equivalence.py``).
+* ``"compiled"`` — the closure-lowered :mod:`repro.runtime.compiler`
+  with batched NumPy tracing and a vectorized inner-loop fast path; the
+  *production path* for the oracle, the differential fuzz suite, and the
+  figure benchmarks.
+
+The default is ``"compiled"``; set the environment variable
+``REPRO_ENGINE=interp`` to fall back globally (every call site that does
+not pass an explicit ``engine=`` honours it).  To add a new engine,
+implement ``run(func, env, max_steps)`` plus a trace-producing oracle
+hook (see ``check_loop_independence``), register it here, and add it to
+the equivalence suite — the suite, not the registry, is what makes an
+engine trustworthy.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.ir.nodes import IRFunction
+
+ENGINES = ("interp", "compiled")
+
+#: production default; "interp" stays available as the reference.
+DEFAULT_ENGINE = "compiled"
+
+_ENV_VAR = "REPRO_ENGINE"
+
+
+def default_engine() -> str:
+    """The session-wide engine: ``$REPRO_ENGINE`` or the built-in default."""
+    name = os.environ.get(_ENV_VAR, DEFAULT_ENGINE)
+    return name if name in ENGINES else DEFAULT_ENGINE
+
+
+def resolve_engine(engine: "str | None") -> str:
+    """Validate an explicit choice, or fall back to :func:`default_engine`."""
+    if engine is None:
+        return default_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    return engine
+
+
+def execute(
+    func: IRFunction,
+    env: dict[str, Any],
+    engine: "str | None" = None,
+    max_steps: int = 50_000_000,
+) -> dict[str, Any]:
+    """Run ``func`` over ``env`` (arrays modified in place) on the
+    selected engine.  Results are engine-independent by construction —
+    the equivalence suite pins this."""
+    if resolve_engine(engine) == "interp":
+        from repro.runtime.interpreter import run_function
+
+        return run_function(func, env, max_steps=max_steps)
+    from repro.runtime.compiler import run_compiled
+
+    return run_compiled(func, env, max_steps=max_steps)
+
+
+__all__ = ["DEFAULT_ENGINE", "ENGINES", "default_engine", "execute", "resolve_engine"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -70,6 +71,60 @@ class MeasuredPoint:
     threads: int
     time_s: float
     speedup: float
+
+
+@dataclass
+class TraceThroughput:
+    """Measured oracle-inspection rate of one engine on one kernel."""
+
+    engine: str
+    seconds: float
+    accesses: int
+    independent: bool
+    conflicts: int
+
+    @property
+    def accesses_per_s(self) -> float:
+        return self.accesses / self.seconds if self.seconds > 0 else 0.0
+
+
+def measure_oracle_throughput(
+    func: Any,
+    env_factory: Callable[[], dict[str, Any]],
+    loop_label: str,
+    engine: "str | None" = None,
+    repeats: int = 3,
+    max_conflicts: int = 100,
+) -> TraceThroughput:
+    """Time the oracle (inspector) path of one engine on one kernel.
+
+    ``env_factory`` must return a *fresh* environment per call (the
+    oracle mutates it in place).  Reports the best of ``repeats`` runs —
+    the inspector-overhead number the paper's Related Work argues about,
+    now measurable per engine so ``BENCH_runtime.json`` can track the
+    compiled backend's trace throughput over time.
+    """
+    from repro.runtime.engines import resolve_engine
+    from repro.runtime.oracle import check_loop_independence
+
+    name = resolve_engine(engine)
+    best = float("inf")
+    report = None
+    for _ in range(max(1, repeats)):
+        env = env_factory()
+        t0 = time.perf_counter()
+        report = check_loop_independence(
+            func, env, loop_label, max_conflicts=max_conflicts, engine=name
+        )
+        best = min(best, time.perf_counter() - t0)
+    assert report is not None
+    return TraceThroughput(
+        engine=name,
+        seconds=best,
+        accesses=report.accesses_recorded,
+        independent=report.independent,
+        conflicts=len(report.conflicts),
+    )
 
 
 @dataclass

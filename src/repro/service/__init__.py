@@ -44,9 +44,13 @@ Command line
     repro batch                         # analyze the built-in corpus
     repro batch file1.c file2.c         # user-supplied sources
     repro batch --jobs 4 --cache-dir .repro-cache --json report.json
+    repro batch --validate              # + oracle spot-check of PARALLEL verdicts
 
 ``--json -`` writes the full machine-readable report (verdicts +
-timings + cache statistics) to stdout.
+timings + cache statistics) to stdout.  ``--validate`` re-checks every
+PARALLEL verdict of a corpus kernel against the dynamic independence
+oracle (:func:`validate_parallel_verdicts`, compiled runtime engine by
+default) and fails the command on any soundness violation.
 """
 
 from repro.service.cache import ANALYZER_VERSION, CacheStats, ResultCache, cache_key
@@ -57,6 +61,7 @@ from repro.service.engine import (
     KernelVerdict,
     corpus_requests,
     requests_from_source,
+    validate_parallel_verdicts,
 )
 
 __all__ = [
@@ -70,4 +75,5 @@ __all__ = [
     "cache_key",
     "corpus_requests",
     "requests_from_source",
+    "validate_parallel_verdicts",
 ]

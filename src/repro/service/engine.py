@@ -336,6 +336,59 @@ class BatchEngine:
 
 
 # --------------------------------------------------------------------------
+# dynamic verdict validation (oracle spot-checks)
+# --------------------------------------------------------------------------
+
+
+def validate_parallel_verdicts(
+    report: BatchReport,
+    seeds: Sequence[int] = (0, 1),
+    engine: "str | None" = None,
+    max_steps: int = 50_000_000,
+) -> dict[str, list[str]]:
+    """Dynamically spot-check a batch report's PARALLEL verdicts.
+
+    Every verdict whose request names a built-in corpus kernel with an
+    input generator is re-checked against the dynamic independence
+    oracle on ``seeds`` inputs: a declared-parallel loop that conflicts
+    dynamically is a soundness violation.  Runs on the compiled engine
+    by default (``engine=None`` honours ``$REPRO_ENGINE``), which keeps
+    the check cheap enough for ``repro batch --validate`` and CI.
+
+    Returns ``{request_name: [violation descriptions]}`` — empty when
+    every verdict holds up.
+    """
+    from repro.corpus import all_kernels
+    from repro.ir import build_function
+    from repro.runtime import check_loop_independence
+
+    kernels = all_kernels()
+    problems: dict[str, list[str]] = {}
+    for v in report.verdicts:
+        if not v.ok or not v.parallel_loops:
+            continue
+        kernel = kernels.get(v.name)
+        if kernel is None or kernel.make_inputs is None:
+            continue
+        func = build_function(kernel.source)
+        for label in v.parallel_loops:
+            for seed in seeds:
+                rep = check_loop_independence(
+                    func,
+                    kernel.make_inputs(seed),
+                    label,
+                    max_steps=max_steps,
+                    engine=engine,
+                )
+                if not rep.independent:
+                    problems.setdefault(v.name, []).append(
+                        f"loop {label} declared parallel but conflicts on "
+                        f"seed {seed}: {rep.conflicts[0].describe()}"
+                    )
+    return problems
+
+
+# --------------------------------------------------------------------------
 # request builders
 # --------------------------------------------------------------------------
 

@@ -101,9 +101,16 @@ class Expr:
         return self.subst(lambda a: mapping.get(a))
 
     def contains(self, atom: "Atom") -> bool:
-        return atom in self.atoms() or any(
-            atom in a.free_syms() for a in self.atoms() if isinstance(atom, Sym)
-        )
+        """Does ``atom`` occur anywhere in this expression, including
+        nested inside array indices and opaque-operator arguments?
+
+        (Delegates to :func:`occurs_in`.  A previous inline version
+        guarded the nested search with ``if isinstance(atom, Sym)`` —
+        a condition independent of the iterated atom — so non-``Sym``
+        atoms nested inside :class:`ArrayTerm` indices or
+        :class:`OpaqueTerm` arguments were never found.)
+        """
+        return occurs_in(atom, self)
 
     # -- ordering key (deterministic canonical order) -----------------------
     def _key(self) -> tuple:

@@ -12,6 +12,12 @@ conservative.
 The number of seeds is controlled by ``pytest --fuzz-seeds N``
 (default 200), so CI smoke jobs can shrink it and soak runs can grow it
 without touching the code.
+
+The oracle and the executions here run on the *default* engine (the
+compiled backend unless ``REPRO_ENGINE=interp``); the compiled backend
+is itself differentially pinned to the interpreter by
+``tests/test_engine_equivalence.py``, so soundness checked against one
+engine is soundness against both.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import pytest
 
 from repro.ir import build_function
 from repro.parallelizer import parallelize
-from repro.runtime import check_loop_independence, run_function
+from repro.runtime import check_loop_independence, execute
 from repro.workloads.generators import random_kernel
 
 #: distinct interpreter inputs exercised per declared-parallel loop
@@ -63,7 +69,7 @@ class TestGeneratorContract:
         for seed in range(40):
             rk = random_kernel(seed)
             func = build_function(rk.source)
-            run_function(func, rk.make_inputs(seed))
+            execute(func, rk.make_inputs(seed))
 
     def test_corpus_mix_has_positives_and_negatives(self):
         parallel = serial = 0

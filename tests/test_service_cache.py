@@ -217,3 +217,47 @@ class TestEngineBehaviour:
         warm = engine.run(reqs)
         assert warm.total_seconds < cold.total_seconds
         assert all(v.from_cache for v in warm.verdicts)
+
+
+class TestVerdictValidation:
+    """`validate_parallel_verdicts`: oracle spot-checks of batch verdicts."""
+
+    def test_corpus_verdicts_all_hold(self):
+        from repro.service import validate_parallel_verdicts
+
+        report = BatchEngine().run(corpus_requests())
+        problems = validate_parallel_verdicts(report, seeds=(0,))
+        assert problems == {}
+        # it actually exercised kernels (the corpus has parallel verdicts
+        # with input generators)
+        assert any(v.parallel_loops for v in report.verdicts)
+
+    def test_engines_agree_on_validation(self):
+        from repro.service import validate_parallel_verdicts
+
+        report = BatchEngine().run(
+            r for r in corpus_requests() if r.name == "fig9_csr_product"
+        )
+        for engine in ("interp", "compiled"):
+            assert validate_parallel_verdicts(report, seeds=(0,), engine=engine) == {}
+
+    def test_unsound_verdict_is_flagged(self):
+        from repro.service import validate_parallel_verdicts
+        from repro.service.engine import KernelVerdict
+
+        # forge a payload claiming the histogram counting loop (a genuine
+        # output dependence) is parallel: the oracle must object
+        report = BatchEngine().run(
+            r for r in corpus_requests() if r.name == "histogram_serial"
+        )
+        forged = BatchEngine().run(
+            r for r in corpus_requests() if r.name == "histogram_serial"
+        )
+        v = forged.verdicts[0]
+        forged.verdicts[0] = KernelVerdict(
+            v.name, {**v.payload, "parallel_loops": ["L1"]}
+        )
+        assert validate_parallel_verdicts(report, seeds=(0,)) == {}
+        problems = validate_parallel_verdicts(forged, seeds=(0,))
+        assert "histogram_serial" in problems
+        assert "conflicts" in problems["histogram_serial"][0]

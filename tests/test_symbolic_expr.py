@@ -220,6 +220,62 @@ class TestOccursIn:
         assert not occurs_in(loopvar("i"), add(var("x"), 1))
 
 
+class TestContains:
+    """``Expr.contains`` must find atoms *nested inside* other atoms.
+
+    Regression pins for a filter bug: the nested-occurrence search was
+    guarded by ``if isinstance(atom, Sym)`` — a condition that does not
+    depend on the iterated atom — so a non-``Sym`` atom (array term,
+    opaque term) nested inside an array index or opaque argument was
+    never found, even though the equivalent :func:`occurs_in` finds it.
+    """
+
+    def test_sym_top_level(self):
+        x = var("x")
+        assert add(x, 1).contains(x)
+        assert not add(x, 1).contains(var("y"))
+
+    def test_sym_nested_in_array_index(self):
+        i = loopvar("i")
+        assert array_term("a", add(i, 2)).contains(i)
+
+    def test_array_term_top_level(self):
+        at = array_term("rowptr", add(loopvar("i"), -1))
+        assert isinstance(at, ArrayTerm)
+        assert add(at, 3).contains(at)
+
+    def test_array_term_nested_in_opaque(self):
+        # rowptr[i] nested inside an opaque mod term: the old guard
+        # skipped the nested search for non-Sym atoms entirely
+        at = array_term("rowptr", loopvar("i"))
+        assert isinstance(at, ArrayTerm)
+        e = mod(at, 8)
+        assert e.contains(at)
+
+    def test_array_term_nested_in_array_index(self):
+        inner = array_term("idx", loopvar("i"))
+        assert isinstance(inner, ArrayTerm)
+        outer = array_term("data", inner)
+        assert outer.contains(inner)
+
+    def test_opaque_term_nested_in_opaque(self):
+        from repro.symbolic.expr import OpaqueTerm
+
+        inner = mod(var("x"), 3)
+        assert isinstance(inner, OpaqueTerm)
+        e = smax(inner, 10)
+        assert e.contains(inner)
+
+    def test_agrees_with_occurs_in(self):
+        i = loopvar("i")
+        at = array_term("p", add(i, 1))
+        exprs = [add(at, 2), mod(at, 4), mul(at, at), add(i, 1), const(5)]
+        atoms = [i, at, var("z")]
+        for e in exprs:
+            for a in atoms:
+                assert e.contains(a) == occurs_in(a, e), (e, a)
+
+
 class TestEvaluate:
     def test_linear(self):
         x = var("x")
