@@ -1,0 +1,145 @@
+"""CI gate: old-vs-new analysis engine verdict equivalence.
+
+Runs every corpus kernel and N fuzz seeds through both analysis engines
+(``legacy`` — the frozen pre-framework walker — and ``passes`` — the
+pass framework) and diffs the per-loop verdicts:
+
+* a **regression** (legacy PARALLEL, passes serial) fails the gate;
+* an **improvement** (passes PARALLEL, legacy serial) is allowed — the
+  framework's derivation rules exist to add power — but every corpus
+  improvement must be declared in ``EXPECTED_CORPUS_IMPROVEMENTS`` so
+  new ones are a conscious decision, and improvements are soundness-
+  checked against the dynamic oracle before they count.
+
+The full diff is written as a JSON artifact (``--json``) so CI uploads
+it alongside the pass/fail signal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/analysis_equivalence.py \
+        --fuzz-seeds 200 --json verdict_diff.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.corpus import all_kernels
+from repro.ir import build_function
+from repro.parallelizer import parallelize
+from repro.runtime import check_loop_independence
+from repro.workloads.generators import random_kernel
+
+#: corpus improvements the pass framework is expected to deliver
+#: (kernel name, loop label) — keep in sync with
+#: tests/test_pass_framework.py::EXPECTED_IMPROVEMENTS
+EXPECTED_CORPUS_IMPROVEMENTS = {
+    ("inv_perm_scatter", "L2"),
+    ("guarded_prefix_fill", "L2"),
+}
+
+ORACLE_SEEDS = (0, 1)
+
+
+def _verdicts(source: str, assertions, engine: str) -> dict[str, bool]:
+    out = parallelize(source, assertions=assertions, engine=engine)
+    return {label: p.parallel for label, p in out.plan.loops.items()}
+
+
+def _oracle_independent(source: str, make_inputs, label: str) -> bool:
+    if make_inputs is None:
+        return True  # nothing to execute; static soundness covered by tests
+    func = build_function(source)
+    for seed in ORACLE_SEEDS:
+        report = check_loop_independence(func, make_inputs(seed), label)
+        if not report.independent:
+            return False
+    return True
+
+
+def run_gate(fuzz_seeds: int) -> dict:
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    unexpected: list[dict] = []
+    unsound: list[dict] = []
+    checked = 0
+
+    def compare(name: str, source: str, assertions, make_inputs, corpus: bool) -> None:
+        nonlocal checked
+        old = _verdicts(source, assertions, "legacy")
+        new = _verdicts(source, assertions, "passes")
+        checked += len(new)
+        for label in sorted(set(old) | set(new)):
+            o, n = old.get(label, False), new.get(label, False)
+            if o == n:
+                continue
+            entry = {"kernel": name, "loop": label, "legacy": o, "passes": n}
+            if o and not n:
+                regressions.append(entry)
+                continue
+            improvements.append(entry)
+            if corpus and (name, label) not in EXPECTED_CORPUS_IMPROVEMENTS:
+                unexpected.append(entry)
+            if not _oracle_independent(source, make_inputs, label):
+                unsound.append(entry)
+
+    for name, k in sorted(all_kernels().items()):
+        compare(name, k.source, k.assertion_env(), k.make_inputs, corpus=True)
+    for seed in range(fuzz_seeds):
+        rk = random_kernel(seed)
+        compare(rk.name, rk.source, None, rk.make_inputs, corpus=False)
+
+    return {
+        "loops_checked": checked,
+        "regressions": regressions,
+        "improvements": improvements,
+        "unexpected_corpus_improvements": unexpected,
+        "unsound_improvements": unsound,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fuzz-seeds", type=int, default=200)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the verdict diff to PATH ('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    diff = run_gate(args.fuzz_seeds)
+    text = json.dumps(diff, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    elif args.json:
+        Path(args.json).write_text(text + "\n")
+
+    print(
+        f"analysis equivalence: {diff['loops_checked']} loops compared, "
+        f"{len(diff['improvements'])} improvements, "
+        f"{len(diff['regressions'])} regressions"
+    )
+    status = 0
+    for entry in diff["regressions"]:
+        print(f"REGRESSION: {entry['kernel']}/{entry['loop']} lost its PARALLEL verdict")
+        status = 1
+    for entry in diff["unexpected_corpus_improvements"]:
+        print(
+            f"UNDECLARED IMPROVEMENT: {entry['kernel']}/{entry['loop']} — add to "
+            "EXPECTED_CORPUS_IMPROVEMENTS if intended"
+        )
+        status = 1
+    for entry in diff["unsound_improvements"]:
+        print(
+            f"UNSOUND IMPROVEMENT: {entry['kernel']}/{entry['loop']} conflicts "
+            "under the dynamic oracle"
+        )
+        status = 1
+    if status == 0:
+        print("gate passed: no regressions, all improvements declared and oracle-clean")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,26 @@
-"""The paper's core contribution: two-phase symbolic range aggregation
-that derives index-array properties (monotonicity, injectivity, identity)
-from the code that fills the arrays.
+"""The paper's core contribution: deriving index-array properties
+(monotonicity, injectivity, identity, permutations) from the code that
+fills the arrays.
+
+Since PR 3 the analysis runs on a lattice-typed dataflow **pass
+framework** (:mod:`repro.analysis.framework`): abstract domains with
+transfer/join/widen hooks, run by a :class:`PassManager` in one
+traversal, every derived fact carrying a provenance record.  The frozen
+pre-framework walker survives in :mod:`repro.analysis.legacy` as the
+equivalence baseline.
 """
 
-from repro.analysis.driver import AnalysisResult, analyze_function, render_trace
+from repro.analysis.driver import (
+    ANALYSIS_ENGINES,
+    AnalysisResult,
+    analysis_pipeline_identity,
+    analyze_function,
+    default_analysis_engine,
+    render_trace,
+)
 from repro.analysis.env import ArrayRecord, PropertyEnv
-from repro.analysis.phase1 import ArrayUpdate, IterationEffect, Phase1Analyzer
+from repro.analysis.framework import AbstractDomain, PassContext, PassManager
+from repro.analysis.phase1 import ArrayUpdate, GuardedGroup, IterationEffect, Phase1Analyzer
 from repro.analysis.phase2 import LoopSummary, Phase2Aggregator, SectionFact, aggregate
 from repro.analysis.properties import (
     Prop,
@@ -16,21 +31,31 @@ from repro.analysis.properties import (
     join,
     meet,
 )
+from repro.analysis.provenance import ProvenanceLog, ProvenanceStep
 
 __all__ = [
+    "ANALYSIS_ENGINES",
+    "AbstractDomain",
     "AnalysisResult",
     "ArrayRecord",
     "ArrayUpdate",
+    "GuardedGroup",
     "IterationEffect",
     "LoopSummary",
+    "PassContext",
+    "PassManager",
     "Phase1Analyzer",
     "Phase2Aggregator",
     "Prop",
     "PropertyEnv",
+    "ProvenanceLog",
+    "ProvenanceStep",
     "SectionFact",
     "aggregate",
+    "analysis_pipeline_identity",
     "analyze_function",
     "closure",
+    "default_analysis_engine",
     "describe",
     "is_injective",
     "is_monotonic",

@@ -1,45 +1,52 @@
-"""Analysis driver (Section 3.1).
+"""Analysis entry point (Section 3.1) and engine dispatch.
 
-Walks a function in program order.  Loops are analyzed inside-out: each
-nest is summarized bottom-up (Phase 1 then Phase 2 per level, inner
-summaries substituted into outer bodies), after which the loop is
-*collapsed* — the property environment advances over it as if it were a
-compound assignment.  Straight-line statements update scalar ranges and
-array point values (``rowptr[0] = 0``) directly.
+Two interchangeable engines produce an :class:`AnalysisResult`:
 
-The driver records:
+* ``"passes"`` — the production path: the :class:`~repro.analysis
+  .framework.PassManager` running the composable abstract domains of
+  :mod:`repro.analysis.domains` in one traversal, with provenance
+  tracking and the framework-only derivation rules (permutation scatter,
+  guarded counters).
+* ``"legacy"`` — the frozen pre-framework two-phase walker
+  (:mod:`repro.analysis.legacy`), kept as the equivalence baseline.
 
-* a :class:`~repro.analysis.env.PropertyEnv` snapshot *before every
-  loop* — the facts available when dependence-testing that loop;
-* Phase 1 / Phase 2 results per loop — rendered as the paper's
-  Section 3.5 trace by :func:`render_trace`.
+Selection: the ``engine`` parameter of :func:`analyze_function`,
+defaulting to ``$REPRO_ANALYSIS`` or ``"passes"``.
+
+Both engines walk the function in program order; loops are analyzed
+inside-out (Phase 1 then Phase 2 per level, inner summaries substituted
+into outer bodies) and *collapsed* — the property environment advances
+over them as if they were compound assignments.  The result records an
+environment snapshot before every loop (the facts available when
+dependence-testing it), the per-loop Phase 1/2 results (rendered as the
+paper's Section 3.5 trace by :func:`render_trace`), and — on the passes
+engine — the provenance log behind every derived fact.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.analysis.env import ArrayRecord, PropertyEnv
-from repro.analysis.phase1 import IterationEffect, Phase1Analyzer, _written_arrays
-from repro.analysis.phase2 import LoopSummary, SectionFact, aggregate
+from repro.analysis.env import PropertyEnv
+from repro.analysis.phase1 import IterationEffect
+from repro.analysis.phase2 import LoopSummary
+from repro.analysis.provenance import ProvenanceLog
 from repro.errors import AnalysisError
-from repro.ir.nodes import (
-    IArrayRef,
-    IRFunction,
-    IVar,
-    SAssign,
-    SBreak,
-    SCall,
-    SContinue,
-    SIf,
-    SLoop,
-    SReturn,
-    SWhile,
-    Stmt,
-)
-from repro.ir.symx import ir_to_sym
-from repro.symbolic.expr import Atom, Expr, Sym, SymKind, SymKind as _SK
-from repro.symbolic.ranges import SymRange, UNKNOWN_RANGE, range_subst_range
+from repro.ir.nodes import IRFunction
+
+#: Known analysis engines; ``passes`` is the production default.
+ANALYSIS_ENGINES = ("passes", "legacy")
+
+
+def default_analysis_engine() -> str:
+    """The engine used when callers do not pick one explicitly."""
+    engine = os.environ.get("REPRO_ANALYSIS", "passes")
+    if engine not in ANALYSIS_ENGINES:
+        raise AnalysisError(
+            f"REPRO_ANALYSIS={engine!r}: pick from {', '.join(ANALYSIS_ENGINES)}"
+        )
+    return engine
 
 
 @dataclass
@@ -52,6 +59,9 @@ class AnalysisResult:
     env_before: dict[str, PropertyEnv] = field(default_factory=dict)
     final_env: PropertyEnv = field(default_factory=PropertyEnv)
     phase_order: list[tuple[int, str]] = field(default_factory=list)  # (phase, label)
+    engine: str = "passes"
+    pipeline: str = ""  # pass-pipeline identity (empty on legacy)
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
 
     def summary(self, label: str) -> LoopSummary:
         return self.summaries[label]
@@ -65,7 +75,9 @@ class AnalysisResult:
 
 
 def analyze_function(
-    func: IRFunction, initial_env: PropertyEnv | None = None
+    func: IRFunction,
+    initial_env: PropertyEnv | None = None,
+    engine: str | None = None,
 ) -> AnalysisResult:
     """Run the full Section-3 analysis over ``func``.
 
@@ -73,222 +85,31 @@ def analyze_function(
     filled outside this function — the paper's study kernels rely on
     these, as does the assertion mechanism of Mohammadi et al. discussed
     in Related Work).  Writes inside ``func`` kill seeded facts as usual.
+
+    ``engine`` selects the analysis engine (``"passes"`` | ``"legacy"``;
+    ``None`` honours ``$REPRO_ANALYSIS`` and defaults to ``"passes"``).
     """
-    driver = _Driver(func, initial_env)
-    driver.walk(func.body, driver.env)
-    driver.result.final_env = driver.env
-    return driver.result
+    chosen = engine if engine is not None else default_analysis_engine()
+    if chosen == "legacy":
+        from repro.analysis.legacy import analyze_legacy
+
+        return analyze_legacy(func, initial_env)
+    if chosen == "passes":
+        from repro.analysis.domains import default_domains
+        from repro.analysis.framework import PassManager
+
+        return PassManager(default_domains()).run(func, initial_env)
+    raise AnalysisError(
+        f"unknown analysis engine {chosen!r}; pick from {', '.join(ANALYSIS_ENGINES)}"
+    )
 
 
-class _Driver:
-    def __init__(self, func: IRFunction, initial_env: PropertyEnv | None = None) -> None:
-        self.func = func
-        self.env = initial_env.snapshot() if initial_env is not None else PropertyEnv()
-        self.result = AnalysisResult(func=func)
+def analysis_pipeline_identity() -> str:
+    """Identity string of the default pass pipeline (cache fingerprints)."""
+    from repro.analysis.domains import default_domains
+    from repro.analysis.framework import pipeline_identity
 
-    # -- program-order walk ----------------------------------------------------
-    def walk(self, stmts: list[Stmt], env: PropertyEnv) -> None:
-        for s in stmts:
-            self.step(s, env)
-
-    def step(self, s: Stmt, env: PropertyEnv) -> None:
-        if isinstance(s, SAssign):
-            self._assign(s, env)
-        elif isinstance(s, SIf):
-            self._if(s, env)
-        elif isinstance(s, SLoop):
-            self._loop(s, env)
-        elif isinstance(s, SWhile):
-            self._havoc(s.body, env)
-        elif isinstance(s, SCall):
-            for a in s.call.args:
-                if isinstance(a, IVar) and self.func.symtab.is_array(a.name):
-                    env.kill_array(a.name)
-        elif isinstance(s, (SBreak, SContinue, SReturn)):
-            pass
-        else:
-            raise AnalysisError(f"driver cannot handle {s!r}")
-
-    # -- statements -------------------------------------------------------------
-    def _assign(self, s: SAssign, env: PropertyEnv) -> None:
-        value = self._eval_static(s.value, env)
-        if isinstance(s.target, IVar):
-            name = s.target.name
-            if value.is_unknown:
-                env.kill_scalar(name)
-            else:
-                env.set_scalar(name, value)
-            return
-        assert isinstance(s.target, IArrayRef)
-        arr = s.target.array
-        env.kill_array(arr)
-        if len(s.target.indices) == 1:
-            idx = self._eval_static(s.target.indices[0], env)
-            if idx.is_point and not value.is_unknown:
-                env.set_point(arr, idx.lo, value)
-
-    def _if(self, s: SIf, env: PropertyEnv) -> None:
-        # flow-insensitive approximation at statement level: both branches
-        # may execute; kill what either writes, keep facts neither touches
-        for block in (s.then, s.other):
-            self._havoc(block, env, analyze_loops=True)
-
-    def _havoc(self, stmts: list[Stmt], env: PropertyEnv, analyze_loops: bool = False) -> None:
-        from repro.analysis.phase1 import _modified_scalars
-
-        for name in _modified_scalars(stmts, {}):
-            env.kill_scalar(name)
-        for arr in _written_arrays(stmts):
-            env.kill_array(arr)
-        if analyze_loops:
-            # still record env snapshots for nested loops so they can be
-            # dependence-tested (facts are post-kill, hence sound)
-            def visit(ss: list[Stmt]) -> None:
-                for st in ss:
-                    if isinstance(st, SLoop):
-                        self._summarize_nest(st, env.snapshot())
-                    for b in st.blocks():
-                        visit(b)
-
-            visit(stmts)
-
-    # -- loops ------------------------------------------------------------------------
-    def _loop(self, loop: SLoop, env: PropertyEnv) -> None:
-        summary = self._summarize_nest(loop, env.snapshot())
-        # collapse: apply the summary to the walking environment
-        for arr in summary.written_arrays | summary.bottom_arrays:
-            env.kill_array(arr)
-        for name in summary.bottom_scalars:
-            env.kill_scalar(name)
-        for name, post in summary.scalar_post.items():
-            resolved = self._resolve_post(name, post, env)
-            if resolved is None or resolved.is_unknown:
-                env.kill_scalar(name)
-            else:
-                env.set_scalar(name, resolved)
-        for arr, fact in summary.array_facts.items():
-            self._record_fact(arr, fact, summary, env)
-
-    def _summarize_nest(self, loop: SLoop, env_here: PropertyEnv) -> LoopSummary:
-        """Summarize ``loop`` (and, recursively, its inner loops) given the
-        environment at the loop's entry point."""
-        self.result.env_before[loop.label] = env_here.snapshot()
-        # inner loops see the entry environment minus anything the outer
-        # body writes (sound w.r.t. re-entry on later outer iterations)
-        inner_env = env_here.snapshot()
-        from repro.analysis.phase1 import _modified_scalars
-
-        for name in _modified_scalars(loop.body, {}):
-            inner_env.kill_scalar(name)
-        for arr in _written_arrays(loop.body):
-            inner_env.kill_array(arr)
-        collapsed: dict[int, LoopSummary] = {}
-
-        def summarize_inner(stmts: list[Stmt]) -> None:
-            for s in stmts:
-                if isinstance(s, SLoop):
-                    collapsed[id(s)] = self._summarize_nest(s, inner_env.snapshot())
-                elif isinstance(s, SWhile):
-                    continue  # opaque; Phase 1 havocs it
-                else:
-                    for b in s.blocks():
-                        summarize_inner(b)
-
-        summarize_inner(loop.body)
-        effect = Phase1Analyzer(self.func, env_here, collapsed).run(loop)
-        self.result.effects[loop.label] = effect
-        self.result.phase_order.append((1, loop.label))
-        summary = aggregate(loop, effect, env_here)
-        self.result.summaries[loop.label] = summary
-        self.result.phase_order.append((2, loop.label))
-        return summary
-
-    # -- fact recording -------------------------------------------------------------
-    def _record_fact(
-        self, arr: str, fact: SectionFact, summary: LoopSummary, env: PropertyEnv
-    ) -> None:
-        if not fact.must and not fact.subset_guards:
-            return  # a may-write with no usable guard: nothing sound to keep
-        value_range = fact.value_range if fact.must else None
-        env.set_record(
-            ArrayRecord(
-                array=arr,
-                section=fact.section,
-                props=fact.props,
-                value_range=value_range,
-                subset_guards=self._elem_guards(fact, summary),
-                source=summary.loop_label,
-            )
-        )
-
-    @staticmethod
-    def _elem_guards(fact: SectionFact, summary: LoopSummary) -> tuple:
-        """Re-express update guards (over the defining loop's variable) as
-        subset predicates over the element index placeholder ``ELEM``."""
-        if not fact.subset_guards:
-            return ()
-        if fact.written_offset is None:
-            return fact.subset_guards
-        from repro.analysis.env import ELEM
-        from repro.ir.symx import CondAtom
-        from repro.symbolic.expr import loopvar, sub as ssub
-
-        lv = loopvar(summary.loop_var)
-        repl = ssub(ELEM, fact.written_offset)
-
-        def fn(atom):
-            return repl if atom == lv else None
-
-        out = []
-        for g in fact.subset_guards:
-            lhs = g.lhs.subst(fn)
-            rhs = g.rhs.subst(fn)
-            if lhs.is_bottom or rhs.is_bottom:
-                return ()
-            # guards mentioning iteration-local state cannot be lifted
-            from repro.symbolic.expr import SymKind as _K
-
-            if any(s.kind is _K.ITER0 for s in lhs.free_syms() | rhs.free_syms()):
-                return ()
-            out.append(CondAtom(g.op, lhs, rhs))
-        return tuple(out)
-
-    def _resolve_post(self, name: str, post: SymRange, env: PropertyEnv) -> SymRange | None:
-        mapping: dict[Atom, SymRange] = {}
-        for ep in (post.lo, post.hi):
-            if ep.is_infinite or ep.is_bottom:
-                continue
-            for atom in ep.atoms():
-                if isinstance(atom, Sym) and atom.kind is SymKind.LOOP0:
-                    cur = env.scalar_range(atom.name)
-                    if cur is None:
-                        return None
-                    mapping[atom] = cur
-                elif isinstance(atom, Sym) and atom.kind is SymKind.VAR:
-                    cur = env.scalar_range(atom.name)
-                    if cur is not None:
-                        mapping[atom] = cur
-        return range_subst_range(post, mapping)
-
-    # -- static expression evaluation --------------------------------------------------
-    def _eval_static(self, e, env: PropertyEnv) -> SymRange:  # noqa: ANN001
-        sym = ir_to_sym(e)
-        if sym.is_bottom:
-            return UNKNOWN_RANGE
-        mapping: dict[Atom, SymRange] = {}
-        for atom in sym.atoms():
-            if isinstance(atom, Sym) and atom.kind is _SK.VAR:
-                cur = env.scalar_range(atom.name)
-                if cur is not None:
-                    mapping[atom] = cur
-            else:
-                from repro.symbolic.expr import ArrayTerm
-
-                if isinstance(atom, ArrayTerm):
-                    pt = env.points.get((atom.array, atom.index))
-                    if pt is not None:
-                        mapping[atom] = pt
-        return range_subst_range(SymRange.point(sym), mapping)
+    return pipeline_identity(default_domains())
 
 
 # --------------------------------------------------------------------------

@@ -83,12 +83,22 @@ class PropertyEnv:
         return self.records.get(array)
 
     def kill_array(self, array: str) -> None:
+        self.kill_array_records(array)
+        self.kill_array_points(array)
+
+    def kill_array_records(self, array: str) -> None:
+        """Drop the property record (and composites) for ``array`` — the
+        slice of a write's kill owned by the property domain."""
         self.records.pop(array, None)
-        for key in [k for k in self.points if k[0] == array]:
-            del self.points[key]
         self.composites = [
             c for c in self.composites if all(a != array for _, a, _ in c.terms)
         ]
+
+    def kill_array_points(self, array: str) -> None:
+        """Drop known element point values for ``array`` — the slice of a
+        write's kill owned by the range domain."""
+        for key in [k for k in self.points if k[0] == array]:
+            del self.points[key]
 
     def set_point(self, array: str, index: Expr, value: SymRange) -> None:
         self.points[(array, index)] = value
@@ -134,11 +144,16 @@ class PropertyEnv:
                 # subset-restricted facts are not sound as whole-array
                 # prover facts; the extended test handles them specially
                 continue
+            value_range = rec.value_range
+            if value_range is None and Prop.PERMUTATION in c and rec.section is not None:
+                # a permutation of section S is onto S: its values are
+                # bounded by S even when no explicit value range was derived
+                value_range = rec.section
             facts.set_array_fact(
                 rec.array,
                 ArrayFact(
                     mono=mono,
-                    value_range=rec.value_range,
+                    value_range=value_range,
                     identity=Prop.IDENTITY in c,
                     section=rec.section,
                 ),

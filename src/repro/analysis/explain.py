@@ -1,0 +1,64 @@
+"""``repro explain``: render the chain of evidence behind a verdict.
+
+For one loop of one function, print the parallelization verdict, the
+per-pair dependence reasoning, the property facts available at the
+loop's entry, and — fact by fact — the provenance chain recorded by the
+pass framework (which statements established each fact, which merge
+points weakened it, which rule derived it).
+"""
+
+from __future__ import annotations
+
+
+def explain_loop(out, label: str) -> str:  # noqa: ANN001 — ParallelizeOutput
+    """Explain loop ``label`` of an analyzed function.
+
+    ``out`` is a :class:`~repro.parallelizer.pipeline.ParallelizeOutput`
+    produced with the ``passes`` engine (the legacy engine records no
+    provenance — its chains are empty).
+    """
+    plan = out.plan.loops.get(label)
+    if plan is None:
+        known = ", ".join(sorted(out.plan.loops)) or "(none)"
+        raise KeyError(f"no loop {label!r} in {out.func.name}; loops: {known}")
+    lines = [
+        f"{out.func.name} / {label}: "
+        + ("PARALLEL" if plan.parallel else "serial")
+        + f" — {plan.reason}"
+    ]
+    if plan.pragma:
+        lines.append(f"  #pragma {plan.pragma}")
+    if plan.dependence is not None and plan.dependence.pairs:
+        lines.append("")
+        lines.append(f"dependence test ({plan.dependence.method}):")
+        for p in plan.dependence.pairs:
+            lines.append("  " + p.describe())
+    env = out.analysis.env_before.get(label, out.analysis.final_env)
+    facts = env.describe()
+    lines.append("")
+    lines.append(f"facts at entry of {label}:")
+    lines.append("  " + facts.replace("\n", "\n  "))
+    lines.append("")
+    lines.append("provenance chain:")
+    for step in plan.provenance:
+        lines.append("  " + step)
+    if len(plan.provenance) <= 1 and out.analysis.engine != "passes":
+        lines.append("  (no fact provenance: analysis ran on the "
+                     f"{out.analysis.engine!r} engine)")
+    return "\n".join(lines)
+
+
+def explain_source(
+    source: str,
+    label: str,
+    function: str | None = None,
+    method: str = "extended",
+    assertions=None,  # noqa: ANN001 — PropertyEnv | None
+) -> str:
+    """Parse, analyze (passes engine) and explain one loop."""
+    from repro.parallelizer import parallelize
+
+    out = parallelize(
+        source, method=method, assertions=assertions, function=function, engine="passes"
+    )
+    return explain_loop(out, label)

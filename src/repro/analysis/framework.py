@@ -1,0 +1,274 @@
+"""The property-inference pass framework.
+
+The analysis is organized as a set of **abstract domains** run by a
+single :class:`PassManager` traversal of the IR.  A domain owns one
+slice of the program state (scalar value ranges, array property records,
+…) and reacts to the traversal's events through the classic dataflow
+trio:
+
+* ``transfer_*`` — advance the state over a straight-line statement;
+* ``join``       — weaken the state at a control-flow merge (both paths
+  may execute: keep only what every path guarantees);
+* ``widen_loop`` — collapse a summarized loop (Phase 1 + Phase 2) into
+  the state as if it were one compound assignment.
+
+Loop summarization itself (the paper's two phases) is shared machinery
+the manager runs once per loop; domains consume the resulting
+:class:`~repro.analysis.phase2.LoopSummary` and may *refine* it through
+``refine_summary`` — the extension point where new derivation rules
+(permutation scatter, guarded counters, …) live without touching the
+traversal.
+
+Every fact-changing event is recorded in a
+:class:`~repro.analysis.provenance.ProvenanceLog`, so each verdict can
+be traced back to the statements that established it and the merge
+points that weakened it (``repro explain``).
+
+The combined state of all domains is a
+:class:`~repro.analysis.env.PropertyEnv`, kept identical in content to
+the frozen legacy walker (:mod:`repro.analysis.legacy`) — the CI
+equivalence gate holds the two engines verdict-equal modulo the
+framework-only derivation rules.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.env import PropertyEnv
+from repro.analysis.phase1 import (
+    IterationEffect,
+    Phase1Analyzer,
+    _modified_scalars,
+    _written_arrays,
+)
+from repro.analysis.phase2 import LoopSummary, aggregate
+from repro.analysis.provenance import ProvenanceLog
+from repro.errors import AnalysisError
+from repro.ir.nodes import (
+    IRFunction,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+from repro.symbolic.ranges import SymRange
+
+
+@dataclass
+class PassContext:
+    """Shared state the manager threads through every domain hook."""
+
+    func: IRFunction
+    env: PropertyEnv
+    result: "object"  # AnalysisResult (import cycle: driver imports us)
+    log: ProvenanceLog
+
+
+class AbstractDomain(abc.ABC):
+    """One composable analysis domain.
+
+    Subclasses own a slice of the :class:`PropertyEnv` and must keep
+    their hands off the other domains' slices; the manager guarantees
+    the event order matches the legacy walker's program-order semantics.
+    ``version`` feeds the pass-pipeline identity used in cache keys —
+    bump it whenever the domain's semantics change.
+    """
+
+    name: str = "abstract"
+    version: int = 1
+
+    def setup(self, ctx: PassContext) -> None:
+        """Called once before the walk (seed provenance for assertions)."""
+
+    @abc.abstractmethod
+    def transfer_assign(self, stmt: SAssign, value: SymRange, ctx: PassContext) -> None:
+        """Advance over a straight-line assignment (``value`` is the
+        statically evaluated RHS range)."""
+
+    def transfer_call(self, killed_arrays: Sequence[str], site: str, ctx: PassContext) -> None:
+        """Advance over an opaque call that may write ``killed_arrays``."""
+        self.join((), killed_arrays, site, ctx)
+
+    @abc.abstractmethod
+    def join(
+        self,
+        modified_scalars: Iterable[str],
+        written_arrays: Iterable[str],
+        site: str,
+        ctx: PassContext,
+    ) -> None:
+        """Control-flow merge: weaken to what every path guarantees
+        (kill everything a branch may write)."""
+
+    @abc.abstractmethod
+    def widen_loop(self, loop: SLoop, summary: LoopSummary, ctx: PassContext) -> None:
+        """Collapse a summarized loop into the state."""
+
+    def refine_summary(
+        self,
+        loop: SLoop,
+        effect: IterationEffect,
+        summary: LoopSummary,
+        env_here: PropertyEnv,
+        ctx: PassContext,
+    ) -> None:
+        """Optional: strengthen a freshly aggregated summary (derivation
+        rules that need the per-iteration effect)."""
+
+
+def pipeline_identity(domains: Sequence[AbstractDomain]) -> str:
+    """Stable name of a domain pipeline (part of the cache fingerprint)."""
+    return "passes[" + ",".join(f"{d.name}@{d.version}" for d in domains) + "]"
+
+
+# --------------------------------------------------------------------------
+# the manager
+# --------------------------------------------------------------------------
+
+
+def _site_of(s: Stmt) -> str:
+    from repro.ir.printer import expr_to_c, stmt_to_c
+
+    if isinstance(s, SAssign):
+        return stmt_to_c(s).strip()
+    if isinstance(s, SIf):
+        return f"if ({expr_to_c(s.cond)})"
+    if isinstance(s, SWhile):
+        return f"while ({expr_to_c(s.cond)})"
+    if isinstance(s, SLoop):
+        return f"loop {s.label}"
+    return stmt_to_c(s).strip()
+
+
+class PassManager:
+    """Runs a pipeline of abstract domains over a function in one
+    program-order traversal (loops summarized inside-out and collapsed,
+    exactly like the legacy walker)."""
+
+    def __init__(self, domains: Sequence[AbstractDomain]) -> None:
+        if not domains:
+            raise AnalysisError("PassManager needs at least one domain")
+        self.domains = list(domains)
+
+    @property
+    def identity(self) -> str:
+        return pipeline_identity(self.domains)
+
+    # -- entry ----------------------------------------------------------------
+    def run(self, func: IRFunction, initial_env: PropertyEnv | None = None):
+        from repro.analysis.driver import AnalysisResult
+
+        env = initial_env.snapshot() if initial_env is not None else PropertyEnv()
+        result = AnalysisResult(func=func, engine="passes")
+        ctx = PassContext(func=func, env=env, result=result, log=result.provenance)
+        for d in self.domains:
+            d.setup(ctx)
+        self._walk(func.body, ctx)
+        result.final_env = env
+        result.pipeline = self.identity
+        return result
+
+    # -- traversal ------------------------------------------------------------
+    def _walk(self, stmts: list[Stmt], ctx: PassContext) -> None:
+        for s in stmts:
+            self._step(s, ctx)
+
+    def _step(self, s: Stmt, ctx: PassContext) -> None:
+        from repro.analysis.collapse import eval_static
+
+        if isinstance(s, SAssign):
+            value = eval_static(s.value, ctx.env)
+            for d in self.domains:
+                d.transfer_assign(s, value, ctx)
+        elif isinstance(s, SIf):
+            # flow-insensitive at statement level: both branches may
+            # execute; merge = kill what either writes, keep the rest
+            site = _site_of(s)
+            for block in (s.then, s.other):
+                self._merge_block(block, site, ctx, analyze_loops=True)
+        elif isinstance(s, SLoop):
+            self._loop(s, ctx)
+        elif isinstance(s, SWhile):
+            self._merge_block(s.body, _site_of(s), ctx, analyze_loops=False)
+        elif isinstance(s, SCall):
+            killed = [
+                a.name
+                for a in s.call.args
+                if isinstance(a, IVar) and ctx.func.symtab.is_array(a.name)
+            ]
+            site = _site_of(s)
+            for d in self.domains:
+                d.transfer_call(killed, site, ctx)
+        elif isinstance(s, (SBreak, SContinue, SReturn)):
+            pass
+        else:
+            raise AnalysisError(f"pass manager cannot handle {s!r}")
+
+    def _merge_block(
+        self, stmts: list[Stmt], site: str, ctx: PassContext, analyze_loops: bool
+    ) -> None:
+        mods = _modified_scalars(stmts, {})
+        arrays = _written_arrays(stmts)
+        for d in self.domains:
+            d.join(mods, arrays, site, ctx)
+        if analyze_loops:
+            # still summarize nested loops so they can be dependence-
+            # tested (the post-kill environment is sound at their entry)
+            def visit(ss: list[Stmt]) -> None:
+                for st in ss:
+                    if isinstance(st, SLoop):
+                        self._summarize_nest(st, ctx.env.snapshot(), ctx)
+                    for b in st.blocks():
+                        visit(b)
+
+            visit(stmts)
+
+    # -- loops ------------------------------------------------------------------
+    def _loop(self, loop: SLoop, ctx: PassContext) -> None:
+        summary = self._summarize_nest(loop, ctx.env.snapshot(), ctx)
+        for d in self.domains:
+            d.widen_loop(loop, summary, ctx)
+
+    def _summarize_nest(
+        self, loop: SLoop, env_here: PropertyEnv, ctx: PassContext
+    ) -> LoopSummary:
+        result = ctx.result
+        result.env_before[loop.label] = env_here.snapshot()
+        # inner loops see the entry environment minus anything the outer
+        # body writes (sound w.r.t. re-entry on later outer iterations)
+        inner_env = env_here.snapshot()
+        for name in _modified_scalars(loop.body, {}):
+            inner_env.kill_scalar(name)
+        for arr in _written_arrays(loop.body):
+            inner_env.kill_array(arr)
+        collapsed: dict[int, LoopSummary] = {}
+
+        def summarize_inner(stmts: list[Stmt]) -> None:
+            for s in stmts:
+                if isinstance(s, SLoop):
+                    collapsed[id(s)] = self._summarize_nest(s, inner_env.snapshot(), ctx)
+                elif isinstance(s, SWhile):
+                    continue  # opaque; Phase 1 havocs it
+                else:
+                    for b in s.blocks():
+                        summarize_inner(b)
+
+        summarize_inner(loop.body)
+        effect = Phase1Analyzer(ctx.func, env_here, collapsed).run(loop)
+        result.effects[loop.label] = effect
+        result.phase_order.append((1, loop.label))
+        summary = aggregate(loop, effect, env_here)
+        for d in self.domains:
+            d.refine_summary(loop, effect, summary, env_here, ctx)
+        result.summaries[loop.label] = summary
+        result.phase_order.append((2, loop.label))
+        return summary

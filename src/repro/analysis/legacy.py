@@ -1,0 +1,185 @@
+"""The frozen legacy analysis walker (the pre-framework two-phase driver).
+
+This is the ad-hoc program-order walker the pass framework
+(:mod:`repro.analysis.framework`) replaced.  It is kept — unchanged in
+behaviour — as the *equivalence baseline*: the CI analysis-equivalence
+gate runs every corpus kernel and fuzz seed through both engines and
+fails on any verdict the framework loses.  Do not extend this module;
+new rules belong in :mod:`repro.analysis.domains`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.collapse import elem_guards, eval_static, resolve_post
+from repro.analysis.env import ArrayRecord, PropertyEnv
+from repro.analysis.phase1 import Phase1Analyzer, _written_arrays
+from repro.analysis.phase2 import LoopSummary, SectionFact, aggregate
+from repro.errors import AnalysisError
+from repro.ir.nodes import (
+    IArrayRef,
+    IRFunction,
+    IVar,
+    SAssign,
+    SBreak,
+    SCall,
+    SContinue,
+    SIf,
+    SLoop,
+    SReturn,
+    SWhile,
+    Stmt,
+)
+
+
+class LegacyDriver:
+    """Program-order walk with fused control flow and fact bookkeeping."""
+
+    def __init__(self, func: IRFunction, initial_env: PropertyEnv | None = None) -> None:
+        from repro.analysis.driver import AnalysisResult
+
+        self.func = func
+        self.env = initial_env.snapshot() if initial_env is not None else PropertyEnv()
+        self.result = AnalysisResult(func=func, engine="legacy")
+
+    # -- program-order walk ----------------------------------------------------
+    def walk(self, stmts: list[Stmt], env: PropertyEnv) -> None:
+        for s in stmts:
+            self.step(s, env)
+
+    def step(self, s: Stmt, env: PropertyEnv) -> None:
+        if isinstance(s, SAssign):
+            self._assign(s, env)
+        elif isinstance(s, SIf):
+            self._if(s, env)
+        elif isinstance(s, SLoop):
+            self._loop(s, env)
+        elif isinstance(s, SWhile):
+            self._havoc(s.body, env)
+        elif isinstance(s, SCall):
+            for a in s.call.args:
+                if isinstance(a, IVar) and self.func.symtab.is_array(a.name):
+                    env.kill_array(a.name)
+        elif isinstance(s, (SBreak, SContinue, SReturn)):
+            pass
+        else:
+            raise AnalysisError(f"driver cannot handle {s!r}")
+
+    # -- statements -------------------------------------------------------------
+    def _assign(self, s: SAssign, env: PropertyEnv) -> None:
+        value = eval_static(s.value, env)
+        if isinstance(s.target, IVar):
+            name = s.target.name
+            if value.is_unknown:
+                env.kill_scalar(name)
+            else:
+                env.set_scalar(name, value)
+            return
+        assert isinstance(s.target, IArrayRef)
+        arr = s.target.array
+        env.kill_array(arr)
+        if len(s.target.indices) == 1:
+            idx = eval_static(s.target.indices[0], env)
+            if idx.is_point and not value.is_unknown:
+                env.set_point(arr, idx.lo, value)
+
+    def _if(self, s: SIf, env: PropertyEnv) -> None:
+        # flow-insensitive approximation at statement level: both branches
+        # may execute; kill what either writes, keep facts neither touches
+        for block in (s.then, s.other):
+            self._havoc(block, env, analyze_loops=True)
+
+    def _havoc(self, stmts: list[Stmt], env: PropertyEnv, analyze_loops: bool = False) -> None:
+        from repro.analysis.phase1 import _modified_scalars
+
+        for name in _modified_scalars(stmts, {}):
+            env.kill_scalar(name)
+        for arr in _written_arrays(stmts):
+            env.kill_array(arr)
+        if analyze_loops:
+            # still record env snapshots for nested loops so they can be
+            # dependence-tested (facts are post-kill, hence sound)
+            def visit(ss: list[Stmt]) -> None:
+                for st in ss:
+                    if isinstance(st, SLoop):
+                        self._summarize_nest(st, env.snapshot())
+                    for b in st.blocks():
+                        visit(b)
+
+            visit(stmts)
+
+    # -- loops ------------------------------------------------------------------------
+    def _loop(self, loop: SLoop, env: PropertyEnv) -> None:
+        summary = self._summarize_nest(loop, env.snapshot())
+        # collapse: apply the summary to the walking environment
+        for arr in summary.written_arrays | summary.bottom_arrays:
+            env.kill_array(arr)
+        for name in summary.bottom_scalars:
+            env.kill_scalar(name)
+        for name, post in summary.scalar_post.items():
+            resolved = resolve_post(post, env)
+            if resolved is None or resolved.is_unknown:
+                env.kill_scalar(name)
+            else:
+                env.set_scalar(name, resolved)
+        for arr, fact in summary.array_facts.items():
+            self._record_fact(arr, fact, summary, env)
+
+    def _summarize_nest(self, loop: SLoop, env_here: PropertyEnv) -> LoopSummary:
+        """Summarize ``loop`` (and, recursively, its inner loops) given the
+        environment at the loop's entry point."""
+        self.result.env_before[loop.label] = env_here.snapshot()
+        # inner loops see the entry environment minus anything the outer
+        # body writes (sound w.r.t. re-entry on later outer iterations)
+        inner_env = env_here.snapshot()
+        from repro.analysis.phase1 import _modified_scalars
+
+        for name in _modified_scalars(loop.body, {}):
+            inner_env.kill_scalar(name)
+        for arr in _written_arrays(loop.body):
+            inner_env.kill_array(arr)
+        collapsed: dict[int, LoopSummary] = {}
+
+        def summarize_inner(stmts: list[Stmt]) -> None:
+            for s in stmts:
+                if isinstance(s, SLoop):
+                    collapsed[id(s)] = self._summarize_nest(s, inner_env.snapshot())
+                elif isinstance(s, SWhile):
+                    continue  # opaque; Phase 1 havocs it
+                else:
+                    for b in s.blocks():
+                        summarize_inner(b)
+
+        summarize_inner(loop.body)
+        effect = Phase1Analyzer(self.func, env_here, collapsed).run(loop)
+        self.result.effects[loop.label] = effect
+        self.result.phase_order.append((1, loop.label))
+        summary = aggregate(loop, effect, env_here)
+        self.result.summaries[loop.label] = summary
+        self.result.phase_order.append((2, loop.label))
+        return summary
+
+    # -- fact recording -------------------------------------------------------------
+    def _record_fact(
+        self, arr: str, fact: SectionFact, summary: LoopSummary, env: PropertyEnv
+    ) -> None:
+        if not fact.must and not fact.subset_guards:
+            return  # a may-write with no usable guard: nothing sound to keep
+        value_range = fact.value_range if fact.must else None
+        env.set_record(
+            ArrayRecord(
+                array=arr,
+                section=fact.section,
+                props=fact.props,
+                value_range=value_range,
+                subset_guards=elem_guards(fact, summary),
+                source=summary.loop_label,
+            )
+        )
+
+
+def analyze_legacy(func: IRFunction, initial_env: PropertyEnv | None = None):
+    """Run the legacy two-phase walker (baseline engine)."""
+    driver = LegacyDriver(func, initial_env)
+    driver.walk(func.body, driver.env)
+    driver.result.final_env = driver.env
+    return driver.result

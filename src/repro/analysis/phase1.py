@@ -82,6 +82,26 @@ class ArrayUpdate:
         return f"[{self.index}] := {self.value}{g}{m}"
 
 
+@dataclass(frozen=True)
+class GuardedGroup:
+    """Pre-join record of one top-level ``if``/``else`` in a loop body.
+
+    The join of a conditional's branches deliberately widens (shared
+    guards only, value ranges joined), which loses the branch structure
+    some aggregation rules need — e.g. the guarded-counter rule that
+    derives subset injectivity from ``if (g) { a[i] = count; count++ }
+    else { a[i] = -1 }``.  The group keeps the branch-local array updates
+    and end-of-branch scalar values alongside the joined effect.
+    """
+
+    guards: tuple[CondAtom, ...]  # then-branch condition atoms
+    exact: bool  # else branch is the exact complement
+    then_updates: dict[str, tuple[ArrayUpdate, ...]]
+    else_updates: dict[str, tuple[ArrayUpdate, ...]]
+    then_scalars: dict[str, SymRange]  # end-of-then values (λ-relative)
+    else_scalars: dict[str, SymRange]
+
+
 @dataclass
 class IterationEffect:
     """Result of Phase 1 for one loop: the body's effect on the variables
@@ -94,6 +114,7 @@ class IterationEffect:
     bottom_arrays: set[str]  # arrays written in unanalyzable ways
     bottom_scalars: set[str]  # scalars whose effect is ⊥
     modified_scalars: set[str]
+    cond_groups: list[GuardedGroup] = field(default_factory=list)
 
     def scalar_effect(self, name: str) -> SymRange:
         if name in self.bottom_scalars:
@@ -112,6 +133,7 @@ class _State:
     updates: dict[str, list[ArrayUpdate]]
     bottom_arrays: set[str]
     guards: tuple[CondAtom, ...] = ()
+    cond_groups: list[GuardedGroup] = field(default_factory=list)
 
     def copy(self) -> "_State":
         return _State(
@@ -119,6 +141,7 @@ class _State:
             {k: list(v) for k, v in self.updates.items()},
             set(self.bottom_arrays),
             self.guards,
+            list(self.cond_groups),
         )
 
 
@@ -158,6 +181,7 @@ class Phase1Analyzer:
                 n for n, r in state.scalars.items() if r.is_unknown
             },
             modified_scalars=modified,
+            cond_groups=state.cond_groups,
         )
 
     # -- statement interpretation -------------------------------------------------
@@ -221,6 +245,17 @@ class Phase1Analyzer:
             self._refine(else_state, list(neg), loop)
         self._block(s.then, then_state, loop)
         self._block(s.other, else_state, loop)
+        if not state.guards:
+            state.cond_groups.append(
+                GuardedGroup(
+                    guards=tuple(atoms),
+                    exact=bool(exact and len(atoms) == 1),
+                    then_updates=_delta_updates(state, then_state),
+                    else_updates=_delta_updates(state, else_state),
+                    then_scalars=dict(then_state.scalars),
+                    else_scalars=dict(else_state.scalars),
+                )
+            )
         # restore outer guard context, then join
         then_state.guards = state.guards
         else_state.guards = state.guards
@@ -481,6 +516,17 @@ def _join_states(a: _State, b: _State) -> _State:
 
 def _common_guards(a: tuple[CondAtom, ...], b: tuple[CondAtom, ...]) -> tuple[CondAtom, ...]:
     return tuple(g for g in a if g in b)
+
+
+def _delta_updates(base: _State, branch: _State) -> dict[str, tuple[ArrayUpdate, ...]]:
+    """Updates ``branch`` added per array beyond those already in ``base``."""
+    out: dict[str, tuple[ArrayUpdate, ...]] = {}
+    for arr, upds in branch.updates.items():
+        before = len(base.updates.get(arr, []))
+        new = tuple(upds[before:])
+        if new:
+            out[arr] = new
+    return out
 
 
 # NOTE: "LoopSummary" (from repro.analysis.phase2) is referenced only by

@@ -84,6 +84,7 @@ class SectionFact:
     subset_guards: tuple[CondAtom, ...] = ()
     must: bool = True
     written_offset: Expr | None = None
+    rule: str = "phase2"  # aggregation rule that produced the fact (provenance)
 
     def describe(self) -> str:
         from repro.analysis.properties import describe

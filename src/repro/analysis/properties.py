@@ -2,9 +2,15 @@
 
 Properties of interest and their implication order::
 
-    IDENTITY  ⟹  STRICT_INC
+    IDENTITY  ⟹  STRICT_INC, PERMUTATION
+    PERMUTATION ⟹ INJECTIVE
     STRICT_INC ⟹ MONO_INC, INJECTIVE
     STRICT_DEC ⟹ MONO_DEC, INJECTIVE
+
+``PERMUTATION`` is injectivity *onto a known range*: over the record's
+section ``S`` the array is a bijection ``S → S``, so its values are also
+bounded by ``S`` (the bounded-value fact the extended dependence test
+uses to separate indirect accesses from direct ones).
 
 ``closure`` saturates a property set under these implications; ``join``
 (control-flow merge) keeps what both sides guarantee, ``meet`` combines
@@ -19,6 +25,7 @@ from typing import Iterable
 
 class Prop(Enum):
     IDENTITY = "Identity"
+    PERMUTATION = "Permutation"
     STRICT_INC = "Strict_monotonic_inc"
     STRICT_DEC = "Strict_monotonic_dec"
     MONO_INC = "Monotonic_inc"
@@ -30,7 +37,8 @@ class Prop(Enum):
 
 
 _IMPLIES: dict[Prop, frozenset[Prop]] = {
-    Prop.IDENTITY: frozenset({Prop.STRICT_INC}),
+    Prop.IDENTITY: frozenset({Prop.STRICT_INC, Prop.PERMUTATION}),
+    Prop.PERMUTATION: frozenset({Prop.INJECTIVE}),
     Prop.STRICT_INC: frozenset({Prop.MONO_INC, Prop.INJECTIVE}),
     Prop.STRICT_DEC: frozenset({Prop.MONO_DEC, Prop.INJECTIVE}),
     Prop.MONO_INC: frozenset(),

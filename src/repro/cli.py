@@ -4,17 +4,22 @@ Usage::
 
     python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
     python -m repro analyze FILE.c [--vars a,b,c]
+    python -m repro explain LOOP (FILE.c | --kernel NAME) [--method extended]
     python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH] [--validate]
     python -m repro bench [--json PATH] [--size N] [--check]
     python -m repro figure1
     python -m repro figure10
 
 ``parallelize`` prints the OpenMP-annotated C (the paper's artifact);
-``analyze`` prints the Section-3.5-style trace; ``batch`` runs the
-cached, parallel batch engine over the built-in corpus and/or user C
-files (see :mod:`repro.service`) with optional dynamic-oracle validation
-of the PARALLEL verdicts; ``bench`` measures the runtime engines
-(interp vs compiled, see :mod:`repro.runtime.bench`) and writes
+``analyze`` prints the Section-3.5-style trace; ``explain`` prints the
+provenance chain behind one loop's verdict (which statements established
+each index-array property, which rule derived it, how the dependence
+test used it — e.g. ``repro explain L2 kernel.c`` or ``repro explain L2
+--kernel inv_perm_scatter``); ``batch`` runs the cached, parallel batch
+engine over the built-in corpus and/or user C files (see
+:mod:`repro.service`) with optional dynamic-oracle validation of the
+PARALLEL verdicts; ``bench`` measures the runtime engines (interp vs
+compiled, see :mod:`repro.runtime.bench`) and writes
 ``BENCH_runtime.json``; the ``figure*`` commands regenerate the paper's
 evaluation outputs.
 """
@@ -57,6 +62,39 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print()
     print("facts at end of function:")
     print(result.final_env.describe())
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.explain import explain_source
+
+    if args.kernel is not None:
+        from repro.corpus import all_kernels
+
+        kernels = all_kernels()
+        if args.kernel not in kernels:
+            print(f"error: unknown corpus kernel {args.kernel!r}", file=sys.stderr)
+            return 2
+        k = kernels[args.kernel]
+        source, assertions = k.source, k.assertion_env()
+    elif args.file is not None:
+        source, assertions = _read(args.file), None
+    else:
+        print("error: give a FILE or --kernel NAME", file=sys.stderr)
+        return 2
+    try:
+        print(
+            explain_source(
+                source,
+                args.loop,
+                function=args.function,
+                method=args.method,
+                assertions=assertions,
+            )
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -193,6 +231,16 @@ def make_parser() -> argparse.ArgumentParser:
     a.add_argument("--function", default=None)
     a.add_argument("--vars", default=None, help="comma-separated variable filter")
     a.set_defaults(fn=cmd_analyze)
+
+    e = sub.add_parser(
+        "explain", help="print the provenance chain behind one loop's verdict"
+    )
+    e.add_argument("loop", help="loop label (e.g. L2)")
+    e.add_argument("file", nargs="?", default=None, help="mini-C source file")
+    e.add_argument("--kernel", default=None, help="explain a built-in corpus kernel instead of a file")
+    e.add_argument("--function", default=None, help="function name (default: the only one)")
+    e.add_argument("--method", default="extended", choices=["gcd", "banerjee", "range", "extended"])
+    e.set_defaults(fn=cmd_explain)
 
     b = sub.add_parser("batch", help="batch-analyze a corpus with caching + workers")
     b.add_argument("files", nargs="*", help="mini-C source files (default: built-in corpus)")

@@ -102,6 +102,121 @@ void cx_match(int cmatch[], int rmatch[], int m)
 """
 
 
+# -- pass-framework extension kernels ---------------------------------------
+#
+# These two kernels are parallelizable only through properties the pass
+# framework *derives* (PR 3); the legacy analysis engine leaves their
+# target loops serial.  They double as the acceptance fixtures of the
+# analysis-equivalence gate (expected improvements, not regressions).
+
+INV_PERM_SRC = """
+void inv_perm(int perm[], int inv[], int out[], int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        inv[perm[i]] = i;
+    }
+    for (i = 0; i < n; i++) {
+        out[inv[i]] = i;
+    }
+}
+"""
+
+GUARDED_FILL_SRC = """
+void guarded_fill(int data[], int pos[], int out[], int n)
+{
+    int i, count;
+    count = 0;
+    for (i = 0; i < n; i++) {
+        if (data[i] > 0) {
+            pos[i] = count;
+            count = count + 1;
+        } else {
+            pos[i] = -1;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        if (pos[i] >= 0) {
+            out[pos[i]] = i;
+        }
+    }
+}
+"""
+
+
+def _permutation_assert(array: str):
+    from repro.analysis.env import ArrayRecord, PropertyEnv
+    from repro.analysis.properties import Prop
+    from repro.symbolic.expr import const, sub, var
+    from repro.symbolic.ranges import symrange
+
+    def make() -> PropertyEnv:
+        env = PropertyEnv()
+        env.set_record(
+            ArrayRecord(
+                array,
+                section=symrange(const(0), sub(var("n"), 1)),
+                props=frozenset({Prop.PERMUTATION}),
+                source="asserted",
+            )
+        )
+        return env
+
+    return make
+
+
+def _inv_perm_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 24
+    return {
+        "perm": generators.injective_map(n, seed),
+        "inv": np.full(n, -1, dtype=np.int64),
+        "out": np.full(n, -1, dtype=np.int64),
+        "n": n,
+    }
+
+
+def _inv_perm_ref(env):
+    import numpy as np
+
+    perm = env["perm"]
+    inv = np.argsort(perm).astype(np.int64)
+    # out[inv[i]] = i inverts inv again: out is perm itself
+    return {"inv": inv, "out": perm.copy()}
+
+
+def _guarded_fill_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 32
+    rng = generators.rng_of(seed)
+    return {
+        "data": rng.integers(-5, 6, size=n).astype(np.int64),
+        "pos": np.zeros(n, dtype=np.int64),
+        "out": np.zeros(n, dtype=np.int64),
+        "n": n,
+    }
+
+
+def _guarded_fill_ref(env):
+    import numpy as np
+
+    data = env["data"]
+    n = int(env["n"])
+    pos = np.full(n, -1, dtype=np.int64)
+    mask = data[:n] > 0
+    pos[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+    out = env["out"].copy()
+    idx = np.arange(n, dtype=np.int64)[mask]
+    out[pos[mask]] = idx
+    return {"pos": pos, "out": out}
+
+
 def _mono_assert(array: str):
     from repro.analysis.env import ArrayRecord, PropertyEnv
     from repro.analysis.properties import Prop
@@ -140,6 +255,39 @@ def _injective_assert(array: str, subset_nonneg: bool = False):
         return env
 
     return make
+
+
+EXTENSION_KERNELS: dict[str, CorpusKernel] = {
+    k.name: k
+    for k in [
+        CorpusKernel(
+            name="inv_perm_scatter",
+            figure="(pass framework, PR 3)",
+            pattern="P1",
+            property_needed="Permutation of inv, derived from the inverse-permutation scatter",
+            source=INV_PERM_SRC,
+            target_loop="L2",
+            assertions=_permutation_assert("perm"),
+            make_inputs=_inv_perm_inputs,
+            reference=_inv_perm_ref,
+            notes="L1 parallel via asserted Permutation(perm); L2 needs the "
+            "derived Permutation(inv) — legacy engine leaves it serial",
+        ),
+        CorpusKernel(
+            name="guarded_prefix_fill",
+            figure="(pass framework, PR 3)",
+            pattern="P3",
+            property_needed="Subset injectivity of pos, derived from the guarded counter fill",
+            source=GUARDED_FILL_SRC,
+            target_loop="L2",
+            derives_properties=True,
+            make_inputs=_guarded_fill_inputs,
+            reference=_guarded_fill_ref,
+            notes="no assertions: the guarded-counter rule derives strict "
+            "monotonicity of pos on the subset pos[x] >= 0",
+        ),
+    ]
+}
 
 
 EXTRA_KERNELS: dict[str, CorpusKernel] = {
@@ -318,7 +466,9 @@ SUITE_PROGRAMS: list[SuiteProgram] = [
 
 
 def all_kernels() -> dict[str, CorpusKernel]:
-    """Every corpus kernel (figures + suite reconstructions)."""
+    """Every corpus kernel (figures + suite reconstructions + the
+    pass-framework extension kernels)."""
     out = dict(FIGURE_KERNELS)
     out.update(EXTRA_KERNELS)
+    out.update(EXTENSION_KERNELS)
     return out

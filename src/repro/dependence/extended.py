@@ -277,8 +277,73 @@ class ExtendedRangeTest:
                 conv = _identity_convert(ind)
                 if conv is not None:
                     return self._disjoint(conv, other, prover, facts)
+            ok, why = self._disjoint_by_value_bound(ind, other, prover)
+            if ok:
+                return True, why
             return False, f"indirection through {ind.indirect.via} vs direct access"
         return False, "unsupported access-shape combination"
+
+    def _disjoint_by_value_bound(
+        self, ind: Access, other: Access, prover: Prover
+    ) -> tuple[bool, str]:
+        """Separate an indirect access from a direct one using the index
+        array's *bounded values* (value range, or the section itself for a
+        permutation): any value it can hold lies outside the other access."""
+        bound = self._value_bound(ind.indirect, prover)
+        if bound is None:
+            return False, ""
+        if other.kind() == "point":
+            r = tri_or(prover.lt(other.point, bound.lo), prover.lt(bound.hi, other.point))
+        else:
+            r = prover.ranges_disjoint(bound, other.span)
+        if r is Tri.TRUE:
+            return True, (
+                f"{ind.indirect.via} values bounded to {bound}, "
+                "disjoint from the direct access"
+            )
+        return False, ""
+
+    def _value_bound(self, ind: IndirectIndex, prover: Prover) -> SymRange | None:
+        """A sound bound on the values ``via[arg]`` can produce — only
+        when the accessed arguments provably lie inside the section over
+        which the record's bound holds."""
+        if not self.use_properties:
+            return None
+        rec = self.prop_env.record(ind.via)
+        if rec is None or rec.subset_guards:
+            return None
+        if rec.value_range is None and not (
+            rec.has(Prop.PERMUTATION) and rec.section is not None
+        ):
+            return None
+        if not self._args_within_section(ind, rec.section, prover):
+            return None
+        if rec.value_range is not None:
+            return rec.value_range
+        # a permutation of section S is onto S: values bounded by S
+        return rec.section
+
+    @staticmethod
+    def _args_within_section(
+        ind: IndirectIndex, section: SymRange | None, prover: Prover
+    ) -> bool:
+        """Do the accessed arguments provably lie inside ``section``?
+        (``None`` = the record holds wherever the program accesses.)"""
+        if section is None:
+            return True
+        if ind.arg_point is not None:
+            inside = tri_and(
+                prover.le(section.lo, ind.arg_point),
+                prover.le(ind.arg_point, section.hi),
+            )
+            return inside is Tri.TRUE
+        if ind.arg_span is not None:
+            inside = tri_and(
+                prover.le(section.lo, ind.arg_span.lo),
+                prover.le(ind.arg_span.hi, section.hi),
+            )
+            return inside is Tri.TRUE
+        return False
 
     def _points_distinct(
         self, p1: Expr, p2: Expr, a: Access, b: Access, prover: Prover
@@ -290,7 +355,34 @@ class ExtendedRangeTest:
             ok, why = self._distinct_by_injectivity(p1, p2, a, b, prover)
             if ok:
                 return True, why
+            s1 = self._bounded_span_of_point(p1, prover)
+            s2 = self._bounded_span_of_point(p2, prover)
+            if (
+                s1 is not None
+                and s2 is not None
+                and not (s1.is_point and s2.is_point)
+                and prover.ranges_disjoint(s1, s2) is Tri.TRUE
+            ):
+                return True, "subscript value ranges proven disjoint (bounded index array)"
         return False, "subscript equality not refuted"
+
+    def _bounded_span_of_point(self, p: Expr, prover: Prover) -> SymRange | None:
+        """A sound value span for a point subscript: exact for affine
+        expressions, bounded through the record's value range for
+        ``c * V[x] + rest`` with ``V`` value-bounded and ``x`` inside the
+        record's section."""
+        if not any(isinstance(at, ArrayTerm) for at in p.atoms()):
+            return SymRange.point(p)
+        t = _single_array_linear(p)
+        if t is None:
+            return None
+        c, at, rest = t
+        bound = self._value_bound(
+            IndirectIndex(at.array, arg_point=at.index), prover
+        )
+        if bound is None:
+            return None
+        return bound.scale_const(c) + rest
 
     # -- injectivity reasoning ------------------------------------------------------
     def _distinct_by_injectivity(
@@ -332,6 +424,15 @@ class ExtendedRangeTest:
     ) -> tuple[bool, str]:
         ia, ib = a.indirect, b.indirect
         if ia.via != ib.via:
+            ba, bb = self._value_bound(ia, prover), self._value_bound(ib, prover)
+            if (
+                ba is not None
+                and bb is not None
+                and prover.ranges_disjoint(ba, bb) is Tri.TRUE
+            ):
+                return True, (
+                    f"values of {ia.via} and {ib.via} bounded to disjoint ranges"
+                )
             return False, f"indirection through different arrays ({ia.via}, {ib.via})"
         if not self.use_properties:
             return False, "indirect accesses (properties disabled)"

@@ -28,6 +28,9 @@ class LoopPlan:
     dependence: LoopDependenceResult | None = None
     scalars: PrivatizationResult | None = None
     pragma: str | None = None
+    # the chain of evidence behind the verdict: the dependence-test
+    # decision first, then the provenance of every fact it consumed
+    provenance: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         head = f"{self.label}: {'PARALLEL' if self.parallel else 'serial'} — {self.reason}"
@@ -99,28 +102,53 @@ def plan_loop(
             parallel=False,
             reason=f"loop-carried scalar(s): {', '.join(scalars.carried)}",
             scalars=scalars,
+            provenance=[f"verdict[{method}]: loop-carried scalar(s): "
+                        f"{', '.join(scalars.carried)}"],
         )
     dep = test_loop(func, loop, env, method)
     if not dep.parallel:
         failing = dep.failed_pairs()
         why = failing[0].reason if failing else "dependence not refuted"
         arrays = sorted({p.a.array for p in failing})
+        reason = f"array dependence on {', '.join(arrays)}: {why}"
         return LoopPlan(
             label=loop.label,
             parallel=False,
-            reason=f"array dependence on {', '.join(arrays)}: {why}",
+            reason=reason,
             dependence=dep,
             scalars=scalars,
+            provenance=_loop_provenance(analysis, dep, method, reason),
         )
     pragma = _pragma_text(scalars)
+    reason = _success_reason(dep)
     return LoopPlan(
         label=loop.label,
         parallel=True,
-        reason=_success_reason(dep),
+        reason=reason,
         dependence=dep,
         scalars=scalars,
         pragma=pragma,
+        provenance=_loop_provenance(analysis, dep, method, reason),
     )
+
+
+def _loop_provenance(
+    analysis: AnalysisResult,
+    dep: LoopDependenceResult,
+    method: str,
+    reason: str,
+) -> list[str]:
+    """The verdict's chain of evidence: the dependence decision followed
+    by the provenance of every array fact the test could have consumed."""
+    chain = [f"verdict[{method}]: {reason}"]
+    arrays: set[str] = set()
+    if dep.accesses is not None:
+        for a in dep.accesses.accesses:
+            arrays.add(a.array)
+            if a.indirect is not None:
+                arrays.add(a.indirect.via)
+    chain += [s.describe() for s in analysis.provenance.for_arrays(arrays)]
+    return chain
 
 
 def _success_reason(dep: LoopDependenceResult) -> str:

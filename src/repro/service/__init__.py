@@ -53,7 +53,7 @@ oracle (:func:`validate_parallel_verdicts`, compiled runtime engine by
 default) and fails the command on any soundness violation.
 """
 
-from repro.service.cache import ANALYZER_VERSION, CacheStats, ResultCache, cache_key
+from repro.service.cache import CacheStats, ResultCache, analyzer_version, cache_key
 from repro.service.engine import (
     AnalysisRequest,
     BatchEngine,
@@ -65,15 +65,23 @@ from repro.service.engine import (
 )
 
 __all__ = [
-    "ANALYZER_VERSION",
     "AnalysisRequest",
     "BatchEngine",
     "BatchReport",
     "CacheStats",
     "KernelVerdict",
     "ResultCache",
+    "analyzer_version",
     "cache_key",
     "corpus_requests",
     "requests_from_source",
     "validate_parallel_verdicts",
 ]
+
+
+def __getattr__(name: str):
+    # keep the pre-PR-3 constant importable: resolved per access so it
+    # always reflects the active analysis engine (see cache.__getattr__)
+    if name == "ANALYZER_VERSION":
+        return analyzer_version()
+    raise AttributeError(name)

@@ -11,8 +11,15 @@ verdict:
   ``extended``);
 * a fingerprint of the **assertion environment** seeding index-array
   properties;
-* the **analyzer version** (:data:`ANALYZER_VERSION`), so stale entries
-  die automatically when the analysis changes behaviour.
+* the **analyzer version** (:func:`analyzer_version`) — since PR 3 this
+  is no longer a hand-bumped version string but a **digest of the
+  analysis source tree** (every ``.py`` file whose semantics feed a
+  verdict: frontend, IR, symbolic, analysis, dependence, parallelizer,
+  corpus, service) combined with the **pass-pipeline identity**
+  (domain names + versions of the active analysis pipeline).  A refactor
+  of any analysis layer therefore can never serve stale verdicts — no
+  version bump required, which is exactly how a multi-layer refactor
+  like the pass framework lands safely on a warm cache directory.
 
 Storage is two-level: a bounded in-memory LRU (always on) and an
 optional on-disk JSON store (one ``<key>.json`` file per entry, written
@@ -31,22 +38,91 @@ from pathlib import Path
 
 import repro
 
-#: Bump the schema suffix whenever the verdict payload layout or the
-#: analysis semantics change; combined with the package version it makes
-#: old cache entries unreachable instead of wrong.
-CACHE_SCHEMA = 1
-ANALYZER_VERSION = f"{repro.__version__}+schema{CACHE_SCHEMA}"
+#: Schema of the verdict payload layout (kept for report readers; the
+#: analysis semantics themselves are covered by the tree digest).
+CACHE_SCHEMA = 2
+
+#: Package subtrees whose sources determine analysis verdicts.  The
+#: runtime engines, benchmarks and evaluation tables are deliberately
+#: excluded — they consume verdicts, they do not produce them.
+_VERDICT_SUBTREES = (
+    "analysis",
+    "corpus",
+    "dependence",
+    "frontend",
+    "ir",
+    "parallelizer",
+    "service",
+    "symbolic",
+)
+
+
+def _analysis_tree_digest() -> str:
+    """SHA-256 over the verdict-determining source files of the package
+    (sorted relative path + content per file)."""
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    files: list[Path] = [p for sub in _VERDICT_SUBTREES for p in (root / sub).rglob("*.py")]
+    files += [root / "__init__.py", root / "errors.py"]
+    for path in sorted(files):
+        h.update(path.relative_to(root).as_posix().encode("utf-8"))
+        h.update(b"\x00")
+        try:
+            h.update(path.read_bytes())
+        except OSError:
+            continue
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _pipeline_identity() -> str:
+    from repro.analysis import analysis_pipeline_identity, default_analysis_engine
+
+    engine = default_analysis_engine()
+    return analysis_pipeline_identity() if engine == "passes" else engine
+
+
+_TREE_DIGEST: "str | None" = None  # sources cannot change within a process
+
+
+def analyzer_version() -> str:
+    """The full analyzer fingerprint: package version, payload schema,
+    source tree digest, and the *currently active* pass-pipeline
+    identity.
+
+    Resolved per call (the tree digest is memoized, the pipeline
+    identity is not): switching ``REPRO_ANALYSIS`` mid-process changes
+    the fingerprint immediately, so verdicts computed by different
+    engines can never collide under one cache key.
+    """
+    global _TREE_DIGEST
+    if _TREE_DIGEST is None:
+        _TREE_DIGEST = _analysis_tree_digest()
+    return (
+        f"{repro.__version__}+schema{CACHE_SCHEMA}"
+        f"+tree.{_TREE_DIGEST[:16]}+{_pipeline_identity()}"
+    )
+
+
+def __getattr__(name: str) -> str:
+    # backwards-compatible dynamic constant (PEP 562): attribute access
+    # always reflects the active engine, unlike an import-time snapshot
+    if name == "ANALYZER_VERSION":
+        return analyzer_version()
+    raise AttributeError(name)
 
 
 def cache_key(
     ir_text: str,
     method: str = "extended",
     assertions_fingerprint: str = "",
-    version: str = ANALYZER_VERSION,
+    version: "str | None" = None,
 ) -> str:
-    """Stable content hash of one analysis task."""
+    """Stable content hash of one analysis task (``version`` defaults to
+    the live :func:`analyzer_version` fingerprint)."""
     h = hashlib.sha256()
-    for part in (version, method, assertions_fingerprint, ir_text):
+    for part in (version if version is not None else analyzer_version(),
+                 method, assertions_fingerprint, ir_text):
         h.update(part.encode("utf-8"))
         h.update(b"\x00")
     return h.hexdigest()

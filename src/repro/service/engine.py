@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import ReproError
-from repro.service.cache import ANALYZER_VERSION, ResultCache, cache_key
+from repro.service.cache import ResultCache, analyzer_version, cache_key
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ class BatchReport:
         import json
 
         doc = {
-            "analyzer_version": ANALYZER_VERSION,
+            "analyzer_version": analyzer_version(),
             "method": self.method,
             "verdicts": [v.payload for v in self.verdicts],
         }
@@ -111,7 +111,7 @@ class BatchReport:
         import json
 
         doc = {
-            "analyzer_version": ANALYZER_VERSION,
+            "analyzer_version": analyzer_version(),
             "method": self.method,
             "jobs": self.jobs,
             "total_seconds": round(self.total_seconds, 6),
@@ -223,6 +223,7 @@ def _compute_payload(req: AnalysisRequest, key: "str | None" = None) -> dict:
             "parallel": p.parallel,
             "reason": p.reason,
             "pragma": p.pragma,
+            "provenance": list(p.provenance),
         }
         for p in out.plan.loops.values()
     ]
@@ -232,6 +233,8 @@ def _compute_payload(req: AnalysisRequest, key: "str | None" = None) -> dict:
         "parallel_loops": out.plan.parallel_loops,
         "loops": loops,
         "annotated_c": out.annotated_c,
+        "analysis_engine": out.analysis.engine,
+        "pipeline": out.analysis.pipeline,
     }
 
 

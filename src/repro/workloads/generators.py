@@ -158,10 +158,22 @@ class _ArraySpec:
 
 
 @dataclass(frozen=True)
+class _ScalarSpec:
+    """A symbolic integer parameter (e.g. a stride the analysis cannot
+    constant-fold); inputs draw it uniformly from ``[lo, hi]``."""
+
+    name: str
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
 class _Segment:
     family: str
-    code: str  # statement block, referencing arrays and i/j/n
+    code: str  # statement block, referencing arrays and i/j/l/n
     arrays: tuple[_ArraySpec, ...]
+    scalars: tuple[_ScalarSpec, ...] = ()  # extra int parameters
+    locals_: tuple[str, ...] = ()  # extra local int scalars
 
 
 @dataclass(frozen=True)
@@ -315,6 +327,87 @@ def _seg_shifted_copy(rng: np.random.Generator, t: str) -> _Segment:
     )
 
 
+def _seg_param_stride(rng: np.random.Generator, t: str) -> _Segment:
+    """Scatter through an affine map with a *symbolic* (parameter)
+    stride: injectivity depends on the run-time value of ``m``, so the
+    compile-time analysis must stay conservative."""
+    base = int(rng.integers(0, 3))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ poff{t}[i] = i * m{t} + {base}; }}\n"
+        f"    for (i = 0; i < n; i++) {{ pdat{t}[poff{t}[i]] = i; }}\n"
+    )
+    return _Segment(
+        family="param_stride",
+        code=code,
+        arrays=(
+            _ArraySpec(f"poff{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"pdat{t}", lambda n: 3 * n + base + 1, "zeros"),
+        ),
+        scalars=(_ScalarSpec(f"m{t}", 0, 3),),
+    )
+
+
+def _seg_deep_nest(rng: np.random.Generator, t: str) -> _Segment:
+    """Depth-3 nest: derived rowptr segments walked with an inner
+    fixed-width innermost loop — stresses nested summarization."""
+    k = int(rng.integers(1, 4))
+    w = int(rng.integers(2, 4))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ dsz{t}[i] = i % {k + 1}; }}\n"
+        f"    dptr{t}[0] = 0;\n"
+        f"    for (i = 1; i < n + 1; i++) {{ dptr{t}[i] = dptr{t}[i-1] + dsz{t}[i-1]; }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        for (j = dptr{t}[i]; j < dptr{t}[i+1]; j++) {{\n"
+        f"            for (l = 0; l < {w}; l++) {{\n"
+        f"                dout{t}[j * {w} + l] = dinp{t}[j * {w} + l] + 1;\n"
+        f"            }}\n"
+        f"        }}\n"
+        f"    }}\n"
+    )
+    return _Segment(
+        family=f"deep_nest(k={k},w={w})",
+        code=code,
+        arrays=(
+            _ArraySpec(f"dsz{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"dptr{t}", lambda n: n + 1, "zeros"),
+            _ArraySpec(f"dout{t}", lambda n: w * (k * n + 1) + w, "zeros"),
+            _ArraySpec(f"dinp{t}", lambda n: w * (k * n + 1) + w, "rand"),
+        ),
+    )
+
+
+def _seg_counter_fill(rng: np.random.Generator, t: str) -> _Segment:
+    """Guarded prefix-fill: counter values under a data guard, sentinel
+    otherwise — the pass framework derives subset injectivity, so the
+    scatter through the filled array is declared parallel and the oracle
+    must agree."""
+    thresh = int(rng.integers(10, 40))
+    code = (
+        f"    cc{t} = 0;\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        if (cdat{t}[i] > {thresh}) {{\n"
+        f"            cpos{t}[i] = cc{t};\n"
+        f"            cc{t} = cc{t} + 1;\n"
+        f"        }} else {{\n"
+        f"            cpos{t}[i] = -1;\n"
+        f"        }}\n"
+        f"    }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        if (cpos{t}[i] >= 0) {{ cout{t}[cpos{t}[i]] = i; }}\n"
+        f"    }}\n"
+    )
+    return _Segment(
+        family=f"counter_fill({thresh})",
+        code=code,
+        arrays=(
+            _ArraySpec(f"cdat{t}", lambda n: n, "rand"),
+            _ArraySpec(f"cpos{t}", lambda n: n, "zeros"),
+            _ArraySpec(f"cout{t}", lambda n: n + 1, "zeros"),
+        ),
+        locals_=(f"cc{t}",),
+    )
+
+
 _SEGMENT_FAMILIES: "list[Callable[[np.random.Generator, str], _Segment]]" = [
     _seg_strided_scatter,
     _seg_rowptr_segments,
@@ -323,6 +416,9 @@ _SEGMENT_FAMILIES: "list[Callable[[np.random.Generator, str], _Segment]]" = [
     _seg_gather,
     _seg_guarded_scatter,
     _seg_shifted_copy,
+    _seg_param_stride,
+    _seg_deep_nest,
+    _seg_counter_fill,
 ]
 
 
@@ -342,12 +438,19 @@ def random_kernel(seed: int) -> RandomKernel:
         for pos, p in enumerate(picks)
     ]
     specs = [spec for seg in segments for spec in seg.arrays]
-    params = ", ".join([f"int {spec.name}[]" for spec in specs] + ["int n"])
+    scalar_specs = [spec for seg in segments for spec in seg.scalars]
+    locals_ = [name for seg in segments for name in seg.locals_]
+    params = ", ".join(
+        [f"int {spec.name}[]" for spec in specs]
+        + [f"int {spec.name}" for spec in scalar_specs]
+        + ["int n"]
+    )
     name = f"fuzz{seed}"
+    decls = ", ".join(["i", "j", "l"] + locals_)
     source = (
         f"void {name}({params})\n"
         "{\n"
-        "    int i, j;\n" + "".join(seg.code for seg in segments) + "}\n"
+        f"    int {decls};\n" + "".join(seg.code for seg in segments) + "}\n"
     )
 
     def make_inputs(input_seed: int) -> "dict[str, Any]":
@@ -360,6 +463,8 @@ def random_kernel(seed: int) -> RandomKernel:
                 env[spec.name] = irng.integers(0, 50, size=size).astype(np.int64)
             else:
                 env[spec.name] = np.zeros(size, dtype=np.int64)
+        for sspec in scalar_specs:
+            env[sspec.name] = int(irng.integers(sspec.lo, sspec.hi + 1))
         return env
 
     return RandomKernel(

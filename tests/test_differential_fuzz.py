@@ -84,6 +84,57 @@ class TestGeneratorContract:
         assert parallel > 10
         assert serial > 10
 
+    def test_new_families_covered(self):
+        # PR 3 grew the pool: symbolic (parameter) strides, depth-3
+        # nests, and the guarded counter fill must all appear in a
+        # modest seed window so the soundness sweep actually sees them
+        seen: set[str] = set()
+        for seed in range(80):
+            for fam in random_kernel(seed).families:
+                seen.add(fam.split("(")[0])
+        assert {"param_stride", "deep_nest", "counter_fill"} <= seen
+
+    def test_param_stride_stays_conservative(self):
+        # a symbolic stride may be 0 at run time: the scatter loop must
+        # never be declared parallel no matter what the analysis derives
+        seen = 0
+        for seed in range(80):
+            rk = random_kernel(seed)
+            if not any(f.startswith("param_stride") for f in rk.families):
+                continue
+            seen += 1
+            out = parallelize(rk.source)
+            for lp in out.plan.loops.values():
+                if lp.dependence is None:
+                    continue
+                for pair in lp.dependence.pairs:
+                    if pair.a.array.startswith("pdat"):
+                        assert not lp.parallel, (
+                            f"fuzz{seed}: scatter through symbolic stride "
+                            f"declared parallel: {lp.reason}"
+                        )
+        assert seen > 3
+
+    def test_counter_fill_scatter_parallel_and_sound(self):
+        # the guarded-counter derivation must fire on the fuzz family
+        # (the dedicated soundness check is test_fuzz_soundness)
+        fired = 0
+        for seed in range(80):
+            rk = random_kernel(seed)
+            if not any(f.startswith("counter_fill") for f in rk.families):
+                continue
+            out = parallelize(rk.source)
+            scatter_loops = [
+                lp
+                for lp in out.plan.loops.values()
+                if lp.parallel
+                and lp.dependence is not None
+                and any(p.a.array.startswith("cout") for p in lp.dependence.pairs)
+            ]
+            if scatter_loops:
+                fired += 1
+        assert fired > 3, "guarded-counter rule never fired on the fuzz corpus"
+
     def test_histogram_family_never_parallel(self):
         seen = 0
         for seed in range(60):

@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.service import (
-    ANALYZER_VERSION,
+    analyzer_version,
     AnalysisRequest,
     BatchEngine,
     ResultCache,
@@ -84,6 +84,35 @@ class TestCacheKey:
         b = cache_key("ir", "extended", "", version="1.0+schema2")
         assert a != b
 
+    def test_analyzer_version_fingerprints_source_tree(self):
+        # the version string embeds a digest of the verdict-determining
+        # sources and the pass-pipeline identity: an analysis refactor
+        # (or a new derivation rule) invalidates the cache automatically
+        from repro.service.cache import _analysis_tree_digest, analyzer_version
+
+        assert f"tree.{_analysis_tree_digest()[:16]}" in analyzer_version()
+        assert "passes[" in analyzer_version()
+
+    def test_tree_digest_sensitive_to_content(self, tmp_path, monkeypatch):
+        # a one-byte change in any analysis source flips the digest
+        import shutil
+        from pathlib import Path
+
+        import repro
+        from repro.service import cache as cache_mod
+
+        src_root = Path(repro.__file__).resolve().parent
+        clone = tmp_path / "repro"
+        shutil.copytree(src_root, clone)
+        real_file = repro.__file__
+        monkeypatch.setattr(repro, "__file__", str(clone / "__init__.py"))
+        base = cache_mod._analysis_tree_digest()
+        target = clone / "analysis" / "properties.py"
+        target.write_text(target.read_text() + "\n# changed\n")
+        changed = cache_mod._analysis_tree_digest()
+        monkeypatch.setattr(repro, "__file__", real_file)
+        assert base != changed
+
     def test_key_does_not_depend_on_request_name(self):
         a = _request_key(AnalysisRequest("first", SCATTER))
         b = _request_key(AnalysisRequest("second", SCATTER))
@@ -154,7 +183,7 @@ class TestReportDeterminism:
             assert "from_cache" not in verdict
         full = json.loads(report.to_json())
         assert all("seconds" in v for v in full["verdicts"])
-        assert doc["analyzer_version"] == ANALYZER_VERSION
+        assert doc["analyzer_version"] == analyzer_version()
 
     def test_verdicts_sorted_by_name(self):
         report = BatchEngine().run(reversed(_subset_requests(5)))
