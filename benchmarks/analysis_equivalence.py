@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.corpus import all_kernels
 from repro.ir import build_function
 from repro.parallelizer import parallelize
+from repro.parallelizer.planner import covered_by_parallel_ancestor
 from repro.runtime import check_loop_independence
 from repro.workloads.generators import random_kernel
 
@@ -39,6 +40,12 @@ from repro.workloads.generators import random_kernel
 EXPECTED_CORPUS_IMPROVEMENTS = {
     ("inv_perm_scatter", "L2"),
     ("guarded_prefix_fill", "L2"),
+    # 2-D index-vector kernels: leading-dimension separation through
+    # pass-only derived properties (permutation-scatter,
+    # permutation-compose, guarded-counter)
+    ("perm_row_scatter", "L2"),
+    ("csr_gather_accum", "L2"),
+    ("blocked_counter_fill", "L2"),
 }
 
 ORACLE_SEEDS = (0, 1)
@@ -75,6 +82,10 @@ def run_gate(fuzz_seeds: int) -> dict:
         for label in sorted(set(old) | set(new)):
             o, n = old.get(label, False), new.get(label, False)
             if o == n:
+                continue
+            if label not in new and covered_by_parallel_ancestor(label, new):
+                continue  # subsumed by a parallel outer loop on passes
+            if label not in old and covered_by_parallel_ancestor(label, old):
                 continue
             entry = {"kernel": name, "loop": label, "legacy": o, "passes": n}
             if o and not n:

@@ -85,7 +85,7 @@ def eval_static(e, env: PropertyEnv) -> SymRange:  # noqa: ANN001 — IExpr
             if cur is not None:
                 mapping[atom] = cur
         elif isinstance(atom, ArrayTerm):
-            pt = env.points.get((atom.array, atom.index))
+            pt = env.point_at(atom.array, atom.index)
             if pt is not None:
                 mapping[atom] = pt
     return range_subst_range(SymRange.point(sym), mapping)

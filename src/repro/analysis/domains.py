@@ -56,14 +56,14 @@ from repro.symbolic.expr import (
     occurs_in,
     sub,
 )
-from repro.symbolic.ranges import symrange
+from repro.symbolic.ranges import MultiSection, symrange
 
 
 class RangeDomain(AbstractDomain):
     """Symbolic value ranges of scalars and array element point values."""
 
     name = "range"
-    version = 1
+    version = 2
 
     def transfer_assign(self, stmt: SAssign, value, ctx: PassContext) -> None:
         env = ctx.env
@@ -77,17 +77,18 @@ class RangeDomain(AbstractDomain):
         assert isinstance(stmt.target, IArrayRef)
         arr = stmt.target.array
         env.kill_array_points(arr)
-        if len(stmt.target.indices) == 1:
-            idx = eval_static(stmt.target.indices[0], env)
-            if idx.is_point and not value.is_unknown:
-                env.set_point(arr, idx.lo, value)
-                ctx.log.record(
-                    array_subject(arr),
-                    "established",
-                    f"'{_short(stmt)}'",
-                    rule="point-assignment",
-                    detail=f"{arr}[{idx.lo}] = {value}",
-                )
+        idxs = tuple(eval_static(ix, env) for ix in stmt.target.indices)
+        if all(ix.is_point for ix in idxs) and not value.is_unknown:
+            key = tuple(ix.lo for ix in idxs)
+            env.set_point(arr, key, value)
+            subs = "".join(f"[{i}]" for i in key)
+            ctx.log.record(
+                array_subject(arr),
+                "established",
+                f"'{_short(stmt)}'",
+                rule="point-assignment",
+                detail=f"{arr}{subs} = {value}",
+            )
 
     def join(self, modified_scalars, written_arrays, site, ctx: PassContext) -> None:
         env = ctx.env
@@ -122,10 +123,14 @@ class PropertyDomain(AbstractDomain):
     framework-only derivation rules."""
 
     name = "property"
-    version = 1
+    version = 2
 
     def __init__(self) -> None:
-        self.rules = (refine_permutation_scatter, refine_guarded_counter)
+        self.rules = (
+            refine_permutation_scatter,
+            refine_permutation_compose,
+            refine_guarded_counter,
+        )
 
     def setup(self, ctx: PassContext) -> None:
         for rec in ctx.env.records.values():
@@ -180,11 +185,20 @@ class PropertyDomain(AbstractDomain):
     ) -> None:
         if loop.step != 1:
             return
-        for arr in sorted(summary.bottom_arrays):
+        candidates = sorted(
+            set(summary.bottom_arrays)
+            # rules may also *strengthen* a property-less section fact
+            # (e.g. comp[i] = q[p[i]] aggregates to a plain must-section)
+            | {a for a, f in summary.array_facts.items() if not f.props}
+        )
+        for arr in candidates:
+            existing = summary.array_facts.get(arr)
             for rule in self.rules:
                 fact = rule(arr, loop, effect, summary, env_here)
                 if fact is None:
                     continue
+                if existing is not None and not fact.props:
+                    continue  # only a strictly stronger fact may replace one
                 summary.bottom_arrays.discard(arr)
                 summary.array_facts[arr] = fact
                 ctx.log.record(
@@ -243,7 +257,7 @@ def refine_permutation_scatter(
     if upds is None or len(upds) != 1:
         return None
     upd = upds[0]
-    if not upd.always or upd.guards:
+    if upd.rank != 1 or not upd.always or upd.guards:
         return None
     idx = upd.index
     lv = loopvar(loop.var)
@@ -255,7 +269,10 @@ def refine_permutation_scatter(
     if idx.array in effect.updates or idx.array in effect.bottom_arrays:
         return None
     rec = env_here.record(idx.array)
-    if rec is None or rec.subset_guards or rec.section is None:
+    if rec is None or rec.subset_guards:
+        return None
+    section = rec.index_section
+    if section is None:
         return None
     if not rec.has(Prop.PERMUTATION):
         return None
@@ -264,9 +281,9 @@ def refine_permutation_scatter(
         return None
     first, last, _trip = edges
     prover = Prover(env_here.to_facts())
-    if prover.eq(first, rec.section.lo) is not Tri.TRUE:
+    if prover.eq(first, section.lo) is not Tri.TRUE:
         return None
-    if prover.eq(last, rec.section.hi) is not Tri.TRUE:
+    if prover.eq(last, section.hi) is not Tri.TRUE:
         return None
     if not upd.value.is_point:
         return None
@@ -295,6 +312,75 @@ def refine_permutation_scatter(
         must=True,
         written_offset=None,
         rule="permutation-scatter",
+    )
+
+
+def refine_permutation_compose(
+    arr: str,
+    loop: SLoop,
+    effect: IterationEffect,
+    summary: LoopSummary,
+    env_here: PropertyEnv,
+) -> SectionFact | None:
+    """``comp[i] = q[p[i]]`` sweeping exactly the shared section of two
+    permutations ``p`` and ``q``: the composition ``q ∘ p`` is itself a
+    permutation of that section (ROADMAP open item)."""
+    if arr in effect.bottom_arrays:
+        return None
+    upds = effect.updates.get(arr)
+    if upds is None or len(upds) != 1:
+        return None
+    upd = upds[0]
+    if upd.rank != 1 or not upd.always or upd.guards:
+        return None
+    lv = loopvar(loop.var)
+    if upd.index != lv:
+        return None  # the write must sweep the section identically
+    if not upd.value.is_point:
+        return None
+    outer = upd.value.lo
+    if not isinstance(outer, ArrayTerm):
+        return None
+    inner = outer.index
+    if not isinstance(inner, ArrayTerm) or inner.index != lv:
+        return None
+    p_name, q_name = inner.array, outer.array
+    # both index arrays must be loop-invariant permutations of the same
+    # section, and that section must be exactly the iteration range
+    for name in (p_name, q_name):
+        if name in effect.updates or name in effect.bottom_arrays:
+            return None
+    rec_p = env_here.record(p_name)
+    rec_q = env_here.record(q_name)
+    if rec_p is None or rec_q is None:
+        return None
+    if rec_p.subset_guards or rec_q.subset_guards:
+        return None
+    if not (rec_p.has(Prop.PERMUTATION) and rec_q.has(Prop.PERMUTATION)):
+        return None
+    sec_p = rec_p.index_section
+    sec_q = rec_q.index_section
+    if sec_p is None or sec_q is None:
+        return None
+    edges = _loop_edges(loop)
+    if edges is None:
+        return None
+    first, last, _trip = edges
+    prover = Prover(env_here.to_facts())
+    for lo, hi in ((sec_p.lo, sec_p.hi), (sec_q.lo, sec_q.hi)):
+        if prover.eq(first, lo) is not Tri.TRUE:
+            return None
+        if prover.eq(last, hi) is not Tri.TRUE:
+            return None
+    return SectionFact(
+        array=arr,
+        section=MultiSection.of(symrange(first, last)),
+        props=frozenset({Prop.PERMUTATION}),
+        value_range=symrange(first, last),
+        subset_guards=(),
+        must=True,
+        written_offset=ZERO,
+        rule="permutation-compose",
     )
 
 
@@ -330,7 +416,7 @@ def refine_guarded_counter(
     if len(then_upds) != 1 or len(else_upds) != 1:
         return None
     tu, eu = then_upds[0], else_upds[0]
-    if tu.index != eu.index:
+    if tu.rank != 1 or tu.indices != eu.indices:
         return None
     lv = loopvar(loop.var)
     lin_idx = as_linear(tu.index, lv)
@@ -392,7 +478,7 @@ def refine_guarded_counter(
     if edges is None:
         return None
     first, last, trip = edges
-    section = symrange(add(first, offset), add(last, offset))
+    section = MultiSection.of(symrange(add(first, offset), add(last, offset)))
     hi_v = add(const(threshold), mul(t, sub(trip, 1)))
     return SectionFact(
         array=arr,

@@ -20,7 +20,7 @@ from repro.analysis.properties import Prop, closure, describe
 from repro.ir.symx import CondAtom
 from repro.symbolic.expr import Expr, Sym, fresh, var
 from repro.symbolic.facts import ArrayFact, FactEnv, MonoDir
-from repro.symbolic.ranges import SymRange
+from repro.symbolic.ranges import MultiSection, SymRange
 
 #: Placeholder for "the element's index" in subset predicates: a record
 #: with ``subset_guards = (jmatch[ELEM] >= 0,)`` states that the property
@@ -32,21 +32,38 @@ ELEM = fresh("__elem")
 class ArrayRecord:
     """Everything the analysis knows about one array at a program point.
 
-    ``section`` is the *must* index range over which ``props`` and
-    ``value_range`` hold.  ``subset_guards`` restrict the properties to
-    the elements satisfying the guard predicates (the paper's
-    "injective/monotonic subset" patterns, Section 2 item 3).
+    ``section`` is the *must* index region (a :class:`MultiSection` — a
+    product of per-dimension ranges; rank 1 for the classic index-array
+    case) over which ``props`` and ``value_range`` hold.  ``props`` key
+    on the *leading* dimension: injectivity of a rank-2 record means the
+    leading subscript map is injective.  ``subset_guards`` restrict the
+    properties to the elements satisfying the guard predicates (the
+    paper's "injective/monotonic subset" patterns, Section 2 item 3).
     """
 
     array: str
-    section: SymRange | None = None
+    section: MultiSection | None = None
     props: frozenset[Prop] = frozenset()
     value_range: SymRange | None = None
     subset_guards: tuple[CondAtom, ...] = ()
     source: str = ""  # loop label / statement that established the record
 
+    def __post_init__(self) -> None:
+        # accept a bare SymRange for the ubiquitous rank-1 case
+        if isinstance(self.section, SymRange):
+            self.section = MultiSection((self.section,))
+
     def has(self, p: Prop) -> bool:
         return p in closure(self.props)
+
+    @property
+    def index_section(self) -> SymRange | None:
+        """The section as a rank-1 index range — the domain over which a
+        1-D index array's properties and value bounds hold (``None``
+        when the record is multi-dimensional or has no section)."""
+        if self.section is None or self.section.rank != 1:
+            return None
+        return self.section.lead
 
     def describe(self) -> str:
         parts = []
@@ -66,8 +83,9 @@ class PropertyEnv:
     """Per-program-point analysis state."""
 
     records: dict[str, ArrayRecord] = field(default_factory=dict)
-    # known point values of specific array elements, e.g. rowptr[0] = [0:0]
-    points: dict[tuple[str, Expr], SymRange] = field(default_factory=dict)
+    # known point values of specific array elements, keyed by the full
+    # index vector, e.g. rowptr[0] = [0:0] under ("rowptr", (0,))
+    points: dict[tuple[str, tuple[Expr, ...]], SymRange] = field(default_factory=dict)
     # known scalar value ranges at this program point
     scalars: dict[str, SymRange] = field(default_factory=dict)
     # symbolic parameters assumed non-negative (problem sizes)
@@ -100,8 +118,15 @@ class PropertyEnv:
         for key in [k for k in self.points if k[0] == array]:
             del self.points[key]
 
-    def set_point(self, array: str, index: Expr, value: SymRange) -> None:
-        self.points[(array, index)] = value
+    def set_point(
+        self, array: str, index: "Expr | tuple[Expr, ...]", value: SymRange
+    ) -> None:
+        self.points[(array, _index_key(index))] = value
+
+    def point_at(
+        self, array: str, index: "Expr | tuple[Expr, ...]"
+    ) -> SymRange | None:
+        return self.points.get((array, _index_key(index)))
 
     def set_scalar(self, name: str, value: SymRange) -> None:
         self.scalars[name] = value
@@ -144,18 +169,23 @@ class PropertyEnv:
                 # subset-restricted facts are not sound as whole-array
                 # prover facts; the extended test handles them specially
                 continue
+            if rec.section is not None and rec.section.rank != 1:
+                # the prover's symbolic algebra binds rank-1 array terms
+                # only; multi-dimensional sections stay at this layer
+                continue
+            section = rec.index_section
             value_range = rec.value_range
-            if value_range is None and Prop.PERMUTATION in c and rec.section is not None:
+            if value_range is None and Prop.PERMUTATION in c and section is not None:
                 # a permutation of section S is onto S: its values are
                 # bounded by S even when no explicit value range was derived
-                value_range = rec.section
+                value_range = section
             facts.set_array_fact(
                 rec.array,
                 ArrayFact(
                     mono=mono,
                     value_range=value_range,
                     identity=Prop.IDENTITY in c,
-                    section=rec.section,
+                    section=section,
                 ),
             )
         return facts
@@ -163,5 +193,12 @@ class PropertyEnv:
     def describe(self) -> str:
         lines = [rec.describe() for rec in self.records.values()]
         for (arr, idx), val in self.points.items():
-            lines.append(f"{arr}[{idx}] = {val}")
+            subs = "".join(f"[{i}]" for i in idx)
+            lines.append(f"{arr}{subs} = {val}")
         return "\n".join(lines) if lines else "(empty)"
+
+
+def _index_key(index: "Expr | tuple[Expr, ...]") -> tuple[Expr, ...]:
+    """Normalize an element index to its index-vector key (a bare
+    expression is the rank-1 case)."""
+    return index if isinstance(index, tuple) else (index,)

@@ -63,12 +63,30 @@ from repro.symbolic.ranges import SymRange, UNKNOWN_RANGE, symrange
 
 @dataclass(frozen=True)
 class ArrayUpdate:
-    """One array write as seen from a single iteration."""
+    """One array write as seen from a single iteration.
 
-    index: Expr  # symbolic index expression (may mention the loop var)
+    ``indices`` is the full subscript vector, one symbolic expression per
+    dimension (each may mention the loop var); classic 1-D updates are
+    the ``rank == 1`` case.
+    """
+
+    indices: tuple[Expr, ...]  # symbolic index vector
     value: SymRange  # may-range of the written value
     guards: tuple[CondAtom, ...] = ()  # conditions under which the write happens
     always: bool = True  # True = executes every iteration (must-write)
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    @property
+    def index(self) -> Expr:
+        """The leading-dimension subscript (the paper's ``i + k`` slot)."""
+        return self.indices[0]
+
+    @property
+    def trailing(self) -> tuple[Expr, ...]:
+        return self.indices[1:]
 
     def guarded(self) -> "ArrayUpdate":
         return replace(self, always=False)
@@ -79,7 +97,8 @@ class ArrayUpdate:
     def __str__(self) -> str:
         g = f" if {' && '.join(map(str, self.guards))}" if self.guards else ""
         m = "" if self.always else " (may)"
-        return f"[{self.index}] := {self.value}{g}{m}"
+        subs = "".join(f"[{i}]" for i in self.indices)
+        return f"{subs} := {self.value}{g}{m}"
 
 
 @dataclass(frozen=True)
@@ -222,14 +241,13 @@ class Phase1Analyzer:
             return
         assert isinstance(s.target, IArrayRef)
         arr = s.target.array
-        if len(s.target.indices) != 1:
+        indices = tuple(self.eval_expr(ix, state, loop) for ix in s.target.indices)
+        if any(ix.is_bottom for ix in indices):
             state.bottom_arrays.add(arr)
             return
-        index = self.eval_expr(s.target.indices[0], state, loop)
-        if index.is_bottom:
-            state.bottom_arrays.add(arr)
-            return
-        upd = ArrayUpdate(index=index, value=value, guards=state.guards, always=not state.guards)
+        upd = ArrayUpdate(
+            indices=indices, value=value, guards=state.guards, always=not state.guards
+        )
         state.updates.setdefault(arr, []).append(upd)
 
     def _if(self, s: SIf, state: _State, loop: SLoop) -> None:
@@ -354,37 +372,46 @@ class Phase1Analyzer:
         return SymRange.point(var(name))
 
     def _array_read(self, e: IArrayRef, state: _State, loop: SLoop) -> SymRange:
-        if len(e.indices) != 1:
-            return UNKNOWN_RANGE
         if e.array in state.bottom_arrays:
             return UNKNOWN_RANGE
-        index = self.eval_expr(e.indices[0], state, loop)
-        if index.is_bottom:
+        indices = tuple(self.eval_expr(ix, state, loop) for ix in e.indices)
+        if any(ix.is_bottom for ix in indices):
             return UNKNOWN_RANGE
         # read-after-write within the same iteration (exact index match)
         for upd in reversed(state.updates.get(e.array, [])):
-            if upd.index == index and upd.always:
+            if upd.indices == indices and upd.always:
                 return upd.value
         # value range recorded by an earlier (outer) analysis
         rec = self.prop_env.record(e.array)
         if rec is not None and rec.value_range is not None and not rec.subset_guards:
-            if self._index_in_section(index, rec.section, loop):
+            if self._index_in_section(indices, rec.section, loop):
                 return rec.value_range
         # known point value (e.g. rowptr[0] = 0)
-        pt = self.prop_env.points.get((e.array, index))
+        pt = self.prop_env.point_at(e.array, indices)
         if pt is not None:
             return pt
-        return SymRange.point(array_term(e.array, index))
+        if len(indices) == 1:
+            return SymRange.point(array_term(e.array, indices[0]))
+        # a multi-dimensional element has no rank-1 symbolic term; its
+        # value is known only through the record/point channels above
+        return UNKNOWN_RANGE
 
-    def _index_in_section(self, index: Expr, section: SymRange | None, loop: SLoop) -> bool:
+    def _index_in_section(
+        self, indices: tuple[Expr, ...], section, loop: SLoop  # noqa: ANN001 — MultiSection
+    ) -> bool:
         if section is None:
             return True
+        if section.rank != len(indices):
+            return False
         facts = self._loop_facts(loop)
         p = Prover(facts)
         from repro.symbolic.compare import tri_and
 
-        inside = tri_and(p.le(section.lo, index), p.le(index, section.hi))
-        return inside is Tri.TRUE
+        for rng, index in zip(section.dims, indices):
+            inside = tri_and(p.le(rng.lo, index), p.le(index, rng.hi))
+            if inside is not Tri.TRUE:
+                return False
+        return True
 
     def _loop_facts(self, loop: SLoop) -> FactEnv:
         facts = self.prop_env.to_facts()
@@ -490,7 +517,7 @@ def _join_states(a: _State, b: _State) -> _State:
                 (
                     j
                     for j, upd_b in enumerate(ub)
-                    if j not in consumed_b and upd_b.index == upd_a.index
+                    if j not in consumed_b and upd_b.indices == upd_a.indices
                 ),
                 None,
             )
@@ -499,7 +526,7 @@ def _join_states(a: _State, b: _State) -> _State:
                 consumed_b.add(match)
                 merged.append(
                     ArrayUpdate(
-                        index=upd_a.index,
+                        indices=upd_a.indices,
                         value=upd_a.value.join(upd_b.value),
                         guards=_common_guards(upd_a.guards, upd_b.guards),
                         always=upd_a.always and upd_b.always,

@@ -61,6 +61,7 @@ from repro.symbolic.expr import (
 )
 from repro.symbolic.facts import FactEnv
 from repro.symbolic.ranges import (
+    MultiSection,
     SymRange,
     UNKNOWN_RANGE,
     range_subst_range,
@@ -72,13 +73,15 @@ from repro.symbolic.ranges import (
 class SectionFact:
     """Aggregated effect of a loop on one array.
 
-    ``written_offset`` is the ``k`` in the subscript ``i + k`` — it lets
-    the driver re-express guards over the loop variable as subset
-    predicates over the element index.
+    ``section`` is a product of per-dimension ranges (rank 1 for the
+    classic case); the leading dimension is the one the loop variable
+    sweeps.  ``written_offset`` is the ``k`` in the leading subscript
+    ``i + k`` — it lets the driver re-express guards over the loop
+    variable as subset predicates over the element index.
     """
 
     array: str
-    section: SymRange
+    section: MultiSection
     props: frozenset[Prop] = frozenset()
     value_range: SymRange | None = None
     subset_guards: tuple[CondAtom, ...] = ()
@@ -311,17 +314,30 @@ class Phase2Aggregator:
             return None
         if any(s.kind is SymKind.ITER0 for s in upd.index.free_syms()):
             return None  # e.g. column_number[index++] — subscript not i + k
+        # trailing dimensions must be loop-invariant for the written
+        # region to be the exact product (leading dim swept by i + k)
+        for t in upd.trailing:
+            if occurs_in(self.lv, t):
+                return None
+            if any(s.kind is SymKind.ITER0 for s in t.free_syms()):
+                return None
+            if any(isinstance(a, ArrayTerm) for a in t.atoms()):
+                return None  # the indexed array could be overwritten mid-loop
         lo_idx = add(self.first, offset) if self.loop.step > 0 else add(self.last, offset)
         hi_idx = add(self.last, offset) if self.loop.step > 0 else add(self.first, offset)
-        section = symrange(lo_idx, hi_idx)
-        # 1) recurrence a[i+k] = a[i+k-d] + t ?
-        rec = self._try_recurrence(arr, upd, section, offset)
-        if rec is not None:
-            return rec
-        # 2) exact linear-in-i value → identity / strict monotonicity
-        ident = self._try_identity(arr, upd, section, offset)
-        if ident is not None:
-            return ident
+        section = MultiSection.of(
+            symrange(lo_idx, hi_idx), *(SymRange.point(t) for t in upd.trailing)
+        )
+        if upd.rank == 1:
+            # structural rules bind rank-1 symbolic array terms
+            # 1) recurrence a[i+k] = a[i+k-d] + t ?
+            rec = self._try_recurrence(arr, upd, section, offset)
+            if rec is not None:
+                return rec
+            # 2) exact linear-in-i value → identity / strict monotonicity
+            ident = self._try_identity(arr, upd, section, offset)
+            if ident is not None:
+                return ident
         # 3) value range widened over the iteration space
         value = upd.value
         if not value.is_unknown:
@@ -348,7 +364,7 @@ class Phase2Aggregator:
         return False
 
     def _try_recurrence(
-        self, arr: str, upd: ArrayUpdate, section: SymRange, offset: Expr = ZERO
+        self, arr: str, upd: ArrayUpdate, section: MultiSection, offset: Expr = ZERO
     ) -> SectionFact | None:
         if not upd.always:
             return None  # a skipped iteration breaks the chain
@@ -380,7 +396,8 @@ class Phase2Aggregator:
             if props is None:
                 continue
             # the chain reaches back to the base element read first
-            full_section = symrange(sub(section.lo, d), section.hi)
+            lead = section.lead
+            full_section = MultiSection.of(symrange(sub(lead.lo, d), lead.hi))
             value_range = self._recurrence_value_range(arr, full_section, t_lo, t_hi, d.value)
             return SectionFact(
                 array=arr,
@@ -394,11 +411,11 @@ class Phase2Aggregator:
         return None
 
     def _recurrence_value_range(
-        self, arr: str, section: SymRange, t_lo: Expr, t_hi: Expr, d
+        self, arr: str, section: MultiSection, t_lo: Expr, t_hi: Expr, d
     ) -> SymRange | None:
         """Bound the values from the base element, when it is known
         (e.g. rowptr[0] = 0 with non-negative increments ⟹ rowptr ≥ 0)."""
-        base = self.prop_env.points.get((arr, section.lo))
+        base = self.prop_env.point_at(arr, section.lead.lo)
         if base is None:
             return None
         lo = base.lo
@@ -413,7 +430,7 @@ class Phase2Aggregator:
         return symrange(add(lo, mul(self.trip, t_lo)), total_hi)
 
     def _try_identity(
-        self, arr: str, upd: ArrayUpdate, section: SymRange, offset: Expr = ZERO
+        self, arr: str, upd: ArrayUpdate, section: MultiSection, offset: Expr = ZERO
     ) -> SectionFact | None:
         if not upd.value.is_point:
             return None

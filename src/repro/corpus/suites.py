@@ -144,7 +144,7 @@ void guarded_fill(int data[], int pos[], int out[], int n)
 """
 
 
-def _permutation_assert(array: str):
+def _permutation_assert(*arrays: str):
     from repro.analysis.env import ArrayRecord, PropertyEnv
     from repro.analysis.properties import Prop
     from repro.symbolic.expr import const, sub, var
@@ -152,14 +152,15 @@ def _permutation_assert(array: str):
 
     def make() -> PropertyEnv:
         env = PropertyEnv()
-        env.set_record(
-            ArrayRecord(
-                array,
-                section=symrange(const(0), sub(var("n"), 1)),
-                props=frozenset({Prop.PERMUTATION}),
-                source="asserted",
+        for array in arrays:
+            env.set_record(
+                ArrayRecord(
+                    array,
+                    section=symrange(const(0), sub(var("n"), 1)),
+                    props=frozenset({Prop.PERMUTATION}),
+                    source="asserted",
+                )
             )
-        )
         return env
 
     return make
@@ -257,9 +258,197 @@ def _injective_assert(array: str, subset_nonneg: bool = False):
     return make
 
 
+# -- index-vector (2-D subscripted-subscript) kernels ------------------------
+#
+# These three kernels exercise the dimension-general access algebra: a
+# 2-D array whose *leading* dimension goes through a derived index-array
+# property while the trailing dimension covers a full invariant section.
+# Each flips unknown → PARALLEL only on the pass engine (the property is
+# produced by a framework-only derivation rule), with the separating
+# dimension named in the provenance.
+
+PERM_ROW_SCATTER_SRC = """
+void perm_row_scatter(int perm[], int inv[], int a[][8], int n)
+{
+    int i, j;
+    for (i = 0; i < n; i++) {
+        inv[perm[i]] = i;
+    }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < 8; j++) {
+            a[inv[i]][j] = i + j;
+        }
+    }
+}
+"""
+
+CSR_GATHER_ACCUM_SRC = """
+void csr_gather_accum(int p[], int q[], int comp[], int acc[][6], int x[], int n)
+{
+    int i, k;
+    for (i = 0; i < n; i++) {
+        comp[i] = q[p[i]];
+    }
+    for (i = 0; i < n; i++) {
+        for (k = 0; k < 6; k++) {
+            acc[comp[i]][k] = acc[comp[i]][k] + x[k] + i;
+        }
+    }
+}
+"""
+
+BLOCKED_COUNTER_FILL_SRC = """
+void blocked_counter_fill(int data[], int pos[], int blk[][4], int n)
+{
+    int i, j, count;
+    count = 0;
+    for (i = 0; i < n; i++) {
+        if (data[i] > 0) {
+            pos[i] = count;
+            count = count + 1;
+        } else {
+            pos[i] = -1;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < 4; j++) {
+            if (pos[i] >= 0) {
+                blk[pos[i]][j] = i + j;
+            }
+        }
+    }
+}
+"""
+
+
+def _perm_row_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 24
+    return {
+        "perm": generators.injective_map(n, seed),
+        "inv": np.full(n, -1, dtype=np.int64),
+        "a": np.zeros((n, 8), dtype=np.int64),
+        "n": n,
+    }
+
+
+def _perm_row_ref(env):
+    import numpy as np
+
+    perm = env["perm"]
+    n = int(env["n"])
+    inv = np.argsort(perm).astype(np.int64)
+    a = env["a"].copy()
+    a[inv, :] = np.arange(n, dtype=np.int64)[:, None] + np.arange(8, dtype=np.int64)[None, :]
+    return {"inv": inv, "a": a}
+
+
+def _csr_gather_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 20
+    rng = generators.rng_of(seed + 7)
+    return {
+        "p": generators.injective_map(n, seed),
+        "q": generators.injective_map(n, seed + 1),
+        "comp": np.zeros(n, dtype=np.int64),
+        "acc": np.zeros((n, 6), dtype=np.int64),
+        "x": rng.integers(0, 30, size=6).astype(np.int64),
+        "n": n,
+    }
+
+
+def _csr_gather_ref(env):
+    import numpy as np
+
+    p, q, x = env["p"], env["q"], env["x"]
+    n = int(env["n"])
+    comp = q[p].astype(np.int64)
+    acc = env["acc"].copy()
+    acc[comp, :] += x[None, :] + np.arange(n, dtype=np.int64)[:, None]
+    return {"comp": comp, "acc": acc}
+
+
+def _blocked_fill_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 32
+    rng = generators.rng_of(seed)
+    return {
+        "data": rng.integers(-5, 6, size=n).astype(np.int64),
+        "pos": np.zeros(n, dtype=np.int64),
+        "blk": np.zeros((n, 4), dtype=np.int64),
+        "n": n,
+    }
+
+
+def _blocked_fill_ref(env):
+    import numpy as np
+
+    data = env["data"]
+    n = int(env["n"])
+    pos = np.full(n, -1, dtype=np.int64)
+    mask = data[:n] > 0
+    pos[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+    blk = env["blk"].copy()
+    rows = np.arange(n, dtype=np.int64)[mask]
+    blk[pos[mask], :] = rows[:, None] + np.arange(4, dtype=np.int64)[None, :]
+    return {"pos": pos, "blk": blk}
+
+
 EXTENSION_KERNELS: dict[str, CorpusKernel] = {
     k.name: k
     for k in [
+        CorpusKernel(
+            name="perm_row_scatter",
+            figure="(index-vector algebra, PR 5)",
+            pattern="P1",
+            property_needed="Permutation of inv (derived) separating the leading dimension",
+            source=PERM_ROW_SCATTER_SRC,
+            target_loop="L2",
+            assertions=_permutation_assert("perm"),
+            make_inputs=_perm_row_inputs,
+            reference=_perm_row_ref,
+            notes="2-D row scatter a[inv[i]][j]: the trailing dimension "
+            "covers the full row section; dim 0 separates via the "
+            "permutation-scatter-derived Permutation(inv) — legacy "
+            "leaves L2 serial",
+        ),
+        CorpusKernel(
+            name="csr_gather_accum",
+            figure="(index-vector algebra, PR 5)",
+            pattern="P1",
+            property_needed="Permutation of comp = q ∘ p (permutation-compose rule)",
+            source=CSR_GATHER_ACCUM_SRC,
+            target_loop="L2",
+            assertions=_permutation_assert("p", "q"),
+            make_inputs=_csr_gather_inputs,
+            reference=_csr_gather_ref,
+            notes="row-gather accumulation acc[comp[i]][k] += …: needs "
+            "the composed permutation derived by permutation-compose; "
+            "legacy records only a property-less section for comp",
+        ),
+        CorpusKernel(
+            name="blocked_counter_fill",
+            figure="(index-vector algebra, PR 5)",
+            pattern="P3",
+            property_needed="Subset injectivity of pos (guarded-counter rule), leading dim",
+            source=BLOCKED_COUNTER_FILL_SRC,
+            target_loop="L2",
+            derives_properties=True,
+            make_inputs=_blocked_fill_inputs,
+            reference=_blocked_fill_ref,
+            notes="2-D guarded block fill blk[pos[i]][j]: dim 0 "
+            "separates on the subset pos[x] >= 0 via the derived "
+            "strict monotonicity of pos",
+        ),
         CorpusKernel(
             name="inv_perm_scatter",
             figure="(pass framework, PR 3)",

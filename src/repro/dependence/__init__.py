@@ -4,6 +4,8 @@ Banerjee, Range Test) and the paper's extended Range Test."""
 from repro.dependence.accesses import (
     Access,
     AccessSet,
+    DimAccess,
+    IndexVector,
     IndirectIndex,
     collect_accesses,
 )
@@ -23,7 +25,9 @@ from repro.dependence.framework import (
 __all__ = [
     "Access",
     "AccessSet",
+    "DimAccess",
     "ExtendedRangeTest",
+    "IndexVector",
     "IndirectIndex",
     "LoopDependenceResult",
     "METHODS",

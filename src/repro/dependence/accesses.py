@@ -21,7 +21,7 @@ peeling.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
 from repro.ir.nodes import (
@@ -84,17 +84,14 @@ class IndirectIndex:
 
 
 @dataclass(frozen=True)
-class Access:
-    """One array access shape, per iteration of the tested loop."""
+class DimAccess:
+    """The shape of *one dimension* of an access (point/span/indirect,
+    or unknown when none of the three is set)."""
 
-    array: str
-    is_write: bool
     point: Expr | None = None
     span: SymRange | None = None
     indirect: IndirectIndex | None = None
     exact: bool = True
-    guards: Guards = ()
-    label: str = ""  # statement context, for reports
 
     @property
     def is_unknown(self) -> bool:
@@ -109,16 +106,92 @@ class Access:
             return "indirect"
         return "unknown"
 
+    def subst(self, fn) -> "DimAccess":  # noqa: ANN001 — SubstFn
+        point = self.point.subst(fn) if self.point is not None else None
+        span = self.span.subst(fn) if self.span is not None else None
+        indirect = None
+        if self.indirect is not None:
+            ind = self.indirect
+            indirect = IndirectIndex(
+                ind.via,
+                ind.arg_point.subst(fn) if ind.arg_point is not None else None,
+                ind.arg_span.subst(fn) if ind.arg_span is not None else None,
+            )
+        return DimAccess(point, span, indirect, self.exact)
+
+    def __str__(self) -> str:
+        if self.point is not None:
+            return f"[{self.point}]"
+        if self.span is not None:
+            return str(self.span)
+        if self.indirect is not None:
+            return f"{{{self.indirect}}}"
+        return "[?]"
+
+
+@dataclass(frozen=True)
+class IndexVector:
+    """The full subscript vector of an access, one :class:`DimAccess`
+    per dimension; the classic 1-D access is the ``rank == 1`` case."""
+
+    dims: tuple[DimAccess, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def dim(self, d: int) -> DimAccess:
+        return self.dims[d]
+
+    def subst(self, fn) -> "IndexVector":  # noqa: ANN001 — SubstFn
+        return IndexVector(tuple(d.subst(fn) for d in self.dims))
+
+    def __str__(self) -> str:
+        return "".join(str(d) for d in self.dims)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access shape, per iteration of the tested loop."""
+
+    array: str
+    is_write: bool
+    index: IndexVector | None = None  # None = nothing known about the shape
+    exact: bool = True
+    guards: Guards = ()
+    label: str = ""  # statement context, for reports
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.index is None
+
+    @property
+    def rank(self) -> int:
+        return self.index.rank if self.index is not None else 0
+
+    # -- rank-1 conveniences (exactly the n = 1 case of the vector) ------
+    @property
+    def point(self) -> Expr | None:
+        return self.index.dims[0].point if self.rank == 1 else None
+
+    @property
+    def span(self) -> SymRange | None:
+        return self.index.dims[0].span if self.rank == 1 else None
+
+    @property
+    def indirect(self) -> IndirectIndex | None:
+        return self.index.dims[0].indirect if self.rank == 1 else None
+
+    def kind(self) -> str:
+        if self.index is None:
+            return "unknown"
+        if self.rank == 1:
+            return self.index.dims[0].kind()
+        return "vector"
+
     def describe(self) -> str:
         rw = "W" if self.is_write else "R"
-        if self.point is not None:
-            idx = f"[{self.point}]"
-        elif self.span is not None:
-            idx = str(self.span)
-        elif self.indirect is not None:
-            idx = f"{{{self.indirect}}}"
-        else:
-            idx = "[?]"
+        idx = str(self.index) if self.index is not None else "[?]"
         g = f" if {' && '.join(map(str, self.guards))}" if self.guards else ""
         return f"{rw} {self.array}{idx}{g}"
 
@@ -263,12 +336,16 @@ class _Collector:
                 return list(alts)
             return [((), var(e.name))]
         if isinstance(e, IArrayRef):
-            if len(e.indices) != 1:
-                return None
-            inner = self._eval(e.indices[0], state, inner_vars)
-            if inner is None:
-                return None
-            return [(g, array_term(e.array, v)) for g, v in inner]
+            if len(e.indices) == 1:
+                inner = self._eval(e.indices[0], state, inner_vars)
+                if inner is None:
+                    return None
+                return [(g, array_term(e.array, v)) for g, v in inner]
+            # a multi-dimensional element used as a *value*: the rank-1
+            # symbolic algebra has no vector array terms, so the value
+            # stays unknown (the access itself is still recorded
+            # per-dimension by _array_access)
+            return None
         if isinstance(e, IUn):
             if e.op != "-":
                 return None
@@ -357,36 +434,53 @@ class _Collector:
         guards: Guards,
         inner_vars: dict[str, SymRange],
     ) -> None:
-        if len(ref.indices) != 1:
-            self.out.append(
-                Access(ref.array, is_write, exact=False, guards=guards, label="multidim")
-            )
-            return
-        alts = self._eval(ref.indices[0], state, inner_vars)
-        if alts is None:
-            self.out.append(Access(ref.array, is_write, exact=False, guards=guards))
-            return
-        for g, idx in alts:
+        # evaluate every dimension to guarded point alternatives, then
+        # combine them into guarded index *vectors* (bounded cross
+        # product); an unevaluable dimension stays unknown in place
+        combos: list[tuple[Guards, list[Expr | None]]] = [((), [])]
+        for ix in ref.indices:
+            alts = self._eval(ix, state, inner_vars)
+            if alts is None:
+                combos = [(g, dims + [None]) for g, dims in combos]
+                continue
+            merged: list[tuple[Guards, list[Expr | None]]] = []
+            for g, dims in combos:
+                for g2, idx in alts:
+                    merged.append((_merge_guards(g, g2), dims + [idx]))
+            if len(merged) > _MAX_ALTERNATIVES:
+                self.out.append(Access(ref.array, is_write, exact=False, guards=guards))
+                return
+            combos = merged
+        for g, dims in combos:
             access_guards = _merge_guards(guards, g)
-            self.out.extend(
-                self._shape_access(ref.array, is_write, idx, access_guards, inner_vars)
+            if all(d is None for d in dims):
+                # nothing known about any dimension: whole-array shape
+                self.out.append(
+                    Access(ref.array, is_write, exact=False, guards=access_guards)
+                )
+                continue
+            shaped = tuple(
+                DimAccess(exact=False) if d is None else self._shape_dim(d, inner_vars)
+                for d in dims
+            )
+            self.out.append(
+                Access(
+                    ref.array,
+                    is_write,
+                    index=IndexVector(shaped),
+                    exact=all(s.exact for s in shaped),
+                    guards=access_guards,
+                )
             )
 
-    def _shape_access(
-        self,
-        array: str,
-        is_write: bool,
-        idx: Expr,
-        guards: Guards,
-        inner_vars: dict[str, SymRange],
-    ) -> list[Access]:
-        """Turn an index expression (possibly mentioning inner loop vars)
-        into point/span/indirect shape."""
+    def _shape_dim(self, idx: Expr, inner_vars: dict[str, SymRange]) -> DimAccess:
+        """Turn one dimension's index expression (possibly mentioning
+        inner loop vars) into point/span/indirect shape."""
         mentioned = [v for v in inner_vars if occurs_in(loopvar(v), idx)]
         if not mentioned:
-            return [Access(array, is_write, point=idx, guards=guards)]
+            return DimAccess(point=idx)
         if len(mentioned) > 1:
-            return [Access(array, is_write, exact=False, guards=guards)]
+            return DimAccess(exact=False)
         v = mentioned[0]
         lv = loopvar(v)
         rng = inner_vars[v]
@@ -397,9 +491,7 @@ class _Collector:
                 lo = add(mul(coeff, rng.lo if coeff.value > 0 else rng.hi), off)
                 hi = add(mul(coeff, rng.hi if coeff.value > 0 else rng.lo), off)
                 exact = abs(coeff.value) == 1
-                return [
-                    Access(array, is_write, span=symrange(lo, hi), exact=exact, guards=guards)
-                ]
+                return DimAccess(span=symrange(lo, hi), exact=exact)
         # indirect: idx == via[f(v)] with f linear in v
         if isinstance(idx, ArrayTerm) and occurs_in(lv, idx.index):
             flin = as_linear(idx.index, lv)
@@ -408,23 +500,16 @@ class _Collector:
                 if isinstance(coeff, Const) and coeff.value != 0 and not occurs_in(lv, off):
                     lo = add(mul(coeff, rng.lo if coeff.value > 0 else rng.hi), off)
                     hi = add(mul(coeff, rng.hi if coeff.value > 0 else rng.lo), off)
-                    return [
-                        Access(
-                            array,
-                            is_write,
-                            indirect=IndirectIndex(idx.array, arg_span=symrange(lo, hi)),
-                            exact=abs(coeff.value) == 1,
-                            guards=guards,
-                        )
-                    ]
+                    return DimAccess(
+                        indirect=IndirectIndex(idx.array, arg_span=symrange(lo, hi)),
+                        exact=abs(coeff.value) == 1,
+                    )
         # sound over-approximation: bound the index over the inner range
         lo_b = range_subst(idx, {lv: rng}, "lo")
         hi_b = range_subst(idx, {lv: rng}, "hi")
         if not lo_b.is_infinite and not hi_b.is_infinite:
-            return [
-                Access(array, is_write, span=symrange(lo_b, hi_b), exact=False, guards=guards)
-            ]
-        return [Access(array, is_write, exact=False, guards=guards)]
+            return DimAccess(span=symrange(lo_b, hi_b), exact=False)
+        return DimAccess(exact=False)
 
     # -- inner loops ----------------------------------------------------------------------
     def _inner_loop(

@@ -36,14 +36,34 @@ def _affine(e: Expr, lv: Sym) -> tuple[int, Expr] | None:
     return int(a.value), c
 
 
+def _point_dims(a: Access, b: Access) -> list[tuple[Expr, Expr]]:
+    """Paired per-dimension point subscripts of two accesses.  A
+    dependence needs *every* dimension to collide, so refuting any one
+    pair suffices; non-point dimensions simply cannot be refuted by the
+    affine tests and are skipped."""
+    if a.index is None or b.index is None or a.index.rank != b.index.rank:
+        return []
+    return [
+        (da.point, db.point)
+        for da, db in zip(a.index.dims, b.index.dims)
+        if da.point is not None and db.point is not None
+    ]
+
+
 def gcd_test(a: Access, b: Access, loop: SLoop) -> Tri:
     """GCD test on ``a1·i + c1 = a2·i' + c2`` with ``i ≠ i'`` (only
-    loop-*carried* dependences matter).  Returns TRUE for *independent*."""
-    if a.point is None or b.point is None:
-        return Tri.UNKNOWN
+    loop-*carried* dependences matter), applied per dimension.  Returns
+    TRUE for *independent*."""
+    for pa, pb in _point_dims(a, b):
+        if _gcd_points(pa, pb, loop) is Tri.TRUE:
+            return Tri.TRUE
+    return Tri.UNKNOWN
+
+
+def _gcd_points(pa: Expr, pb: Expr, loop: SLoop) -> Tri:
     lv = loopvar(loop.var)
-    fa = _affine(a.point, lv)
-    fb = _affine(b.point, lv)
+    fa = _affine(pa, lv)
+    fb = _affine(pb, lv)
     if fa is None or fb is None:
         return Tri.UNKNOWN
     a1, c1 = fa
@@ -72,13 +92,21 @@ def banerjee_test(a: Access, b: Access, loop: SLoop, facts: FactEnv | None = Non
     ``d ∈ [1 : U-L]`` (and, symmetrically, ``d ∈ [-(U-L) : -1]``), we
     bound ``h(i, d) = (a1-a2)·i - a2·d + (c1-c2)`` by intervals; if zero
     lies outside the bounds for *both* directions the pair is
-    independent.  Returns TRUE for *independent*.
+    independent.  Applied per dimension (any refuted dimension refutes
+    the pair).  Returns TRUE for *independent*.
     """
-    if a.point is None or b.point is None:
-        return Tri.UNKNOWN
+    for pa, pb in _point_dims(a, b):
+        if _banerjee_points(pa, pb, loop, facts) is Tri.TRUE:
+            return Tri.TRUE
+    return Tri.UNKNOWN
+
+
+def _banerjee_points(
+    pa: Expr, pb: Expr, loop: SLoop, facts: FactEnv | None = None
+) -> Tri:
     lv = loopvar(loop.var)
-    fa = _affine(a.point, lv)
-    fb = _affine(b.point, lv)
+    fa = _affine(pa, lv)
+    fb = _affine(pb, lv)
     if fa is None or fb is None:
         return Tri.UNKNOWN
     a1, c1 = fa

@@ -35,6 +35,7 @@ from repro.analysis.properties import Prop
 from repro.dependence.accesses import (
     Access,
     AccessSet,
+    DimAccess,
     IndirectIndex,
     collect_accesses,
 )
@@ -254,29 +255,67 @@ class ExtendedRangeTest:
     def _disjoint(
         self, a: Access, b: Access, prover: Prover, facts: FactEnv
     ) -> tuple[bool, str]:
-        ka, kb = a.kind(), b.kind()
+        """Cross-iteration disjointness of two accesses to the same
+        array.  Two index *vectors* collide only when every dimension
+        collides simultaneously, so the pair is independent as soon as
+        **any** single dimension provably separates; the verdict's
+        provenance names the separating dimension."""
+        va, vb = a.index, b.index
+        assert va is not None and vb is not None  # guarded by is_unknown
+        if va.rank != vb.rank:
+            return False, "access ranks differ"
+        failures: list[str] = []
+        for d in range(va.rank):
+            ok, why = self._dim_disjoint(va.dims[d], vb.dims[d], a, b, prover, facts)
+            if ok:
+                return True, (f"dim {d}: {why}" if va.rank > 1 else why)
+            failures.append(why)
+        if va.rank > 1:
+            return False, "no dimension separates (" + "; ".join(
+                f"dim {d}: {w}" for d, w in enumerate(failures)
+            ) + ")"
+        return False, failures[0]
+
+    def _dim_disjoint(
+        self,
+        da: DimAccess,
+        db: DimAccess,
+        a: Access,
+        b: Access,
+        prover: Prover,
+        facts: FactEnv,
+    ) -> tuple[bool, str]:
+        ka, kb = da.kind(), db.kind()
+        if "unknown" in (ka, kb):
+            return False, "dimension shape unknown"
         if ka == "point" and kb == "point":
-            return self._points_distinct(a.point, b.point, a, b, prover)
+            return self._points_distinct(da.point, db.point, a, b, prover)
         if ka == "span" and kb == "span":
-            r = prover.ranges_disjoint(a.span, b.span)
+            r = prover.ranges_disjoint(da.span, db.span)
             if r is Tri.TRUE:
                 return True, "sections proven disjoint (range comparison)"
             return False, "section overlap not refuted"
         if {ka, kb} == {"point", "span"}:
-            p, s = (a.point, b.span) if ka == "point" else (b.point, a.span)
+            p, s = (da.point, db.span) if ka == "point" else (db.point, da.span)
             r = tri_or(prover.lt(p, s.lo), prover.lt(s.hi, p))
             if r is Tri.TRUE:
                 return True, "point lies outside the other iteration's section"
             return False, "point-in-section not refuted"
         if ka == "indirect" and kb == "indirect":
-            return self._indirect_disjoint(a, b, prover)
+            return self._indirect_disjoint(da, db, a, b, prover)
         if "indirect" in (ka, kb):
-            ind, other = (a, b) if ka == "indirect" else (b, a)
+            # keep dims paired with the accesses that own their guards
+            if ka == "indirect":
+                ind, other, acc_ind, acc_other = da, db, a, b
+            else:
+                ind, other, acc_ind, acc_other = db, da, b, a
             rec = self.prop_env.record(ind.indirect.via) if self.use_properties else None
             if rec is not None and rec.has(Prop.IDENTITY):
                 conv = _identity_convert(ind)
                 if conv is not None:
-                    return self._disjoint(conv, other, prover, facts)
+                    return self._dim_disjoint(
+                        conv, other, acc_ind, acc_other, prover, facts
+                    )
             ok, why = self._disjoint_by_value_bound(ind, other, prover)
             if ok:
                 return True, why
@@ -284,7 +323,7 @@ class ExtendedRangeTest:
         return False, "unsupported access-shape combination"
 
     def _disjoint_by_value_bound(
-        self, ind: Access, other: Access, prover: Prover
+        self, ind: DimAccess, other: DimAccess, prover: Prover
     ) -> tuple[bool, str]:
         """Separate an indirect access from a direct one using the index
         array's *bounded values* (value range, or the section itself for a
@@ -312,16 +351,19 @@ class ExtendedRangeTest:
         rec = self.prop_env.record(ind.via)
         if rec is None or rec.subset_guards:
             return None
+        if rec.section is not None and rec.section.rank != 1:
+            return None  # a subscript array is a rank-1 index map
+        section = rec.index_section
         if rec.value_range is None and not (
-            rec.has(Prop.PERMUTATION) and rec.section is not None
+            rec.has(Prop.PERMUTATION) and section is not None
         ):
             return None
-        if not self._args_within_section(ind, rec.section, prover):
+        if not self._args_within_section(ind, section, prover):
             return None
         if rec.value_range is not None:
             return rec.value_range
         # a permutation of section S is onto S: values bounded by S
-        return rec.section
+        return section
 
     @staticmethod
     def _args_within_section(
@@ -420,9 +462,9 @@ class ExtendedRangeTest:
         return False, f"arguments of {at1.array} not proven distinct"
 
     def _indirect_disjoint(
-        self, a: Access, b: Access, prover: Prover
+        self, da: DimAccess, db: DimAccess, a: Access, b: Access, prover: Prover
     ) -> tuple[bool, str]:
-        ia, ib = a.indirect, b.indirect
+        ia, ib = da.indirect, db.indirect
         if ia.via != ib.via:
             ba, bb = self._value_bound(ia, prover), self._value_bound(ib, prover)
             if (
@@ -475,42 +517,27 @@ class ExtendedRangeTest:
 # --------------------------------------------------------------------------
 
 
+def _map_access(a: Access, fn) -> Access:  # noqa: ANN001 — SubstFn
+    """Apply a substitution to every dimension and guard of an access."""
+    from dataclasses import replace
+
+    index = a.index.subst(fn) if a.index is not None else None
+    guards = tuple(CondAtom(g.op, g.lhs.subst(fn), g.rhs.subst(fn)) for g in a.guards)
+    return replace(a, index=index, guards=guards)
+
+
 def _shift_access(a: Access, lv: Sym, to: Sym) -> Access:
     def fn(atom: Atom) -> Expr | None:
         return to if atom == lv else None
 
-    from dataclasses import replace
-
-    point = a.point.subst(fn) if a.point is not None else None
-    span = a.span.subst(fn) if a.span is not None else None
-    indirect = None
-    if a.indirect is not None:
-        indirect = IndirectIndex(
-            a.indirect.via,
-            a.indirect.arg_point.subst(fn) if a.indirect.arg_point is not None else None,
-            a.indirect.arg_span.subst(fn) if a.indirect.arg_span is not None else None,
-        )
-    guards = tuple(CondAtom(g.op, g.lhs.subst(fn), g.rhs.subst(fn)) for g in a.guards)
-    return replace(a, point=point, span=span, indirect=indirect, guards=guards)
+    return _map_access(a, fn)
 
 
 def _subst_access(a: Access, sym: Atom, e: Expr) -> Access:
     def fn(atom: Atom) -> Expr | None:
         return e if atom == sym else None
 
-    from dataclasses import replace
-
-    point = a.point.subst(fn) if a.point is not None else None
-    span = a.span.subst(fn) if a.span is not None else None
-    indirect = None
-    if a.indirect is not None:
-        indirect = IndirectIndex(
-            a.indirect.via,
-            a.indirect.arg_point.subst(fn) if a.indirect.arg_point is not None else None,
-            a.indirect.arg_span.subst(fn) if a.indirect.arg_span is not None else None,
-        )
-    guards = tuple(CondAtom(g.op, g.lhs.subst(fn), g.rhs.subst(fn)) for g in a.guards)
-    return replace(a, point=point, span=span, indirect=indirect, guards=guards)
+    return _map_access(a, fn)
 
 
 def _subst_atom_cond(g: CondAtom, sym: Atom, e: Expr) -> CondAtom:
@@ -622,13 +649,11 @@ def _implies(g: CondAtom, want: CondAtom) -> bool:
     return (g.op, want.op) in table or g.op == want.op
 
 
-def _identity_convert(a: Access) -> Access | None:
+def _identity_convert(d: DimAccess) -> DimAccess | None:
     """With ``Identity(via)``, ``{via[x] : x ∈ S}`` is just ``S``."""
-    from dataclasses import replace
-
-    ind = a.indirect
+    ind = d.indirect
     if ind.arg_point is not None:
-        return replace(a, indirect=None, point=ind.arg_point)
+        return DimAccess(point=ind.arg_point, exact=d.exact)
     if ind.arg_span is not None:
-        return replace(a, indirect=None, span=ind.arg_span)
+        return DimAccess(span=ind.arg_span, exact=d.exact)
     return None

@@ -55,6 +55,17 @@ class ParallelizationPlan:
         return "\n".join(lines)
 
 
+def covered_by_parallel_ancestor(label: str, verdicts: "dict[str, bool]") -> bool:
+    """Is ``label`` nested inside a loop ``verdicts`` marks parallel?
+
+    :func:`plan_function` stops descending into parallel loops, so inner
+    labels legitimately drop out of a plan; the equivalence gates use
+    this predicate to tell such subsumed labels from real verdict
+    differences."""
+    parts = label.split(".")
+    return any(verdicts.get(".".join(parts[:k])) for k in range(1, len(parts)))
+
+
 def plan_function(
     func: IRFunction,
     analysis: AnalysisResult | None = None,
@@ -145,8 +156,10 @@ def _loop_provenance(
     if dep.accesses is not None:
         for a in dep.accesses.accesses:
             arrays.add(a.array)
-            if a.indirect is not None:
-                arrays.add(a.indirect.via)
+            if a.index is not None:
+                for d in a.index.dims:
+                    if d.indirect is not None:
+                        arrays.add(d.indirect.via)
     chain += [s.describe() for s in analysis.provenance.for_arrays(arrays)]
     return chain
 

@@ -110,11 +110,37 @@ def _csr_env(n: int) -> dict[str, Any]:
     }
 
 
+# 2-D row scatter through a filled row map: the multi-dimensional store
+# regime of the vectorized fast path (trailing dimension swept by the
+# innermost straight-line loop).
+_ROW_SCATTER_SRC = """
+void row_scatter(int mp[], int grid[][16], int n)
+{
+    int i, j;
+    for (i = 0; i < n; i++) { mp[i] = n - 1 - i; }
+    for (j = 0; j < 16; j++) {
+        for (i = 0; i < n; i++) {
+            grid[mp[i]][j] = i + j;
+        }
+    }
+}
+"""
+
+
+def _row_scatter_env(n: int) -> dict[str, Any]:
+    return {
+        "n": n,
+        "mp": np.zeros(n, np.int64),
+        "grid": np.zeros((n, 16), np.int64),
+    }
+
+
 BENCH_KERNELS: dict[str, tuple[str, str, Callable[[int], dict[str, Any]]]] = {
     # name -> (source, observed loop, env builder)
     "scatter_filled": (_SCATTER_SRC, "L2", _scatter_env),
     "gather_subsub": (_GATHER_SRC, "L2", _gather_env),
     "csr_segment_walk": (_CSR_WALK_SRC, "L3", _csr_env),
+    "row_scatter_2d": (_ROW_SCATTER_SRC, "L2", _row_scatter_env),
 }
 
 

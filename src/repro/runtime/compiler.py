@@ -627,14 +627,16 @@ class _Compiler:
             if not isinstance(st, SAssign):
                 return None
             t = st.target
-            if not isinstance(t, IArrayRef) or len(t.indices) != 1:
+            if not isinstance(t, IArrayRef):
                 return None
             written.append(t.array)
-            for e in (st.value, t.indices[0]):
+            for e in (st.value, *t.indices):
                 read_arrays.update(
                     node.array for node in e.walk() if isinstance(node, IArrayRef)
                 )
-            if not self._vec_supported(st.value) or not self._vec_supported(t.indices[0]):
+            if not self._vec_supported(st.value) or not all(
+                self._vec_supported(ix) for ix in t.indices
+            ):
                 return None
         if len(set(written)) != len(written):
             return None  # two statements scatter into the same array
@@ -644,7 +646,7 @@ class _Compiler:
             (
                 st.target.array,
                 self._aid(st.target.array),
-                self._vec_expr(st.target.indices[0], s.var),
+                tuple(self._vec_expr(ix, s.var) for ix in st.target.indices),
                 self._vec_expr(st.value, s.var),
             )
             for st in s.body
@@ -655,7 +657,7 @@ class _Compiler:
         if isinstance(e, (IConst, IFloat, IVar)):
             return True
         if isinstance(e, IArrayRef):
-            return len(e.indices) == 1 and self._vec_supported(e.indices[0])
+            return all(self._vec_supported(ix) for ix in e.indices)
         if isinstance(e, IUn):
             return e.op in ("-", "!") and self._vec_supported(e.operand)
         if isinstance(e, IBin):
@@ -691,15 +693,15 @@ class _Compiler:
         if isinstance(e, IArrayRef):
             name = e.array
             aid = self._aid(name)
-            idxf = self._vec_expr(e.indices[0], loopvar)
+            idx_fns = tuple(self._vec_expr(ix, loopvar) for ix in e.indices)
 
             def vread(env: dict, iv: Any, reads: list) -> Any:
                 arr = env.get(name)
-                if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+                if not isinstance(arr, np.ndarray) or arr.ndim != len(idx_fns):
                     raise _VecFallback
-                j = _vec_index(idxf(env, iv, reads), arr.shape[0])
-                reads.append((aid, j))
-                return arr[j]
+                idxs, flat = _vec_locate(arr, idx_fns, env, iv, reads)
+                reads.append((aid, flat))
+                return arr[idxs]
 
             return vread
         if isinstance(e, IUn):
@@ -763,6 +765,25 @@ def _vec_index(j: Any, size: int) -> Any:
             raise _VecFallback
         return j
     raise _VecFallback
+
+
+def _vec_locate(
+    arr: np.ndarray, idx_fns: tuple, env: dict, iv: Any, reads: list
+) -> tuple[tuple, Any]:
+    """Evaluate and validate one index value/vector per dimension.
+    Returns ``(index_tuple, flat)``: the tuple drives the NumPy access,
+    ``flat`` is the row-major flat index the trace protocol records —
+    identical to the interpreter's ``_locate``.  The caller has already
+    checked ``arr.ndim == len(idx_fns)``; per-dimension bounds failures
+    raise :class:`_VecFallback` (the scalar replay reproduces the exact
+    error)."""
+    idxs = []
+    flat: Any = 0
+    for d, f in enumerate(idx_fns):
+        j = _vec_index(f(env, iv, reads), arr.shape[d])
+        idxs.append(j)
+        flat = flat * arr.shape[d] + j
+    return tuple(idxs), flat
 
 
 # -- overflow discipline ------------------------------------------------------
@@ -868,7 +889,7 @@ class _VecPlan:
         self,
         var: str,
         step: int,
-        stmts: tuple[tuple[str, int, VecFn, VecFn], ...],
+        stmts: tuple[tuple[str, int, tuple[VecFn, ...], VecFn], ...],
         cost: int,
     ) -> None:
         self.var = var
@@ -894,19 +915,19 @@ class _VecPlan:
         if rt.steps + m * self.cost > rt.max_steps:
             return False  # budget would trip mid-loop: scalar path raises exactly
         iv = lb + step * np.arange(m, dtype=np.int64)
-        plan: list[tuple[np.ndarray, int, Any, Any, list]] = []
+        plan: list[tuple[np.ndarray, int, tuple, Any, Any, list]] = []
         try:
-            for name, aid, idxf, valf in self.stmts:
+            for name, aid, idx_fns, valf in self.stmts:
                 reads: list = []
                 # the interpreter evaluates the value before locating the
                 # target, so reads collect in that order
                 val = valf(env, iv, reads)
                 arr = env.get(name)
-                if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+                if not isinstance(arr, np.ndarray) or arr.ndim != len(idx_fns):
                     raise _VecFallback
-                tvi = _vec_index(idxf(env, iv, reads), arr.shape[0])
+                tvi, flat = _vec_locate(arr, idx_fns, env, iv, reads)
                 _check_storable(val, arr)
-                plan.append((arr, aid, tvi, val, reads))
+                plan.append((arr, aid, tvi, flat, val, reads))
         except _VecFallback:
             rt.vec_fallbacks += 1
             return False
@@ -920,12 +941,12 @@ class _VecPlan:
                 idxs: Any = np.arange(m, dtype=np.int64)
             else:
                 acts, idxs = rt.cur  # type: ignore[misc]
-        for arr, aid, tvi, val, reads in plan:
+        for arr, aid, tvi, flat, val, reads in plan:
             if tracing:
                 for raid, rvec in reads:
                     trace.extend(raid, rvec, False, acts, idxs, m)  # type: ignore[union-attr]
-                trace.extend(aid, tvi, True, acts, idxs, m)  # type: ignore[union-attr]
-            if isinstance(tvi, np.ndarray):
+                trace.extend(aid, flat, True, acts, idxs, m)  # type: ignore[union-attr]
+            if any(isinstance(j, np.ndarray) for j in tvi):
                 # duplicate indices: NumPy assigns in index order, so the
                 # last iteration wins — identical to sequential execution
                 arr[tvi] = val

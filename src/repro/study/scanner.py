@@ -57,22 +57,28 @@ def _arrays_in(e) -> tuple[str, ...]:  # noqa: ANN001
 
 
 def _classify_access(a: Access) -> tuple[str, tuple[str, ...]] | None:
-    if a.indirect is not None:
-        via = (a.indirect.via,)
-        if a.indirect.arg_span is not None:
-            return "indirect-span", via
-        return "indirect-point", via
-    if a.point is not None:
-        arrays = _arrays_in(a.point)
-        if arrays:
-            shape = "indirect-point" if isinstance(a.point, ArrayTerm) else "point-expr"
-            return shape, arrays
+    """Classify the first subscripted-subscript dimension of an access
+    (any dimension indexing through another array qualifies the site)."""
+    if a.index is None:
         return None
-    if a.span is not None:
-        arrays = tuple(sorted(set(_arrays_in(a.span.lo)) | set(_arrays_in(a.span.hi))))
-        if arrays:
-            return "span-bound", arrays
-        return None
+    for d in a.index.dims:
+        if d.indirect is not None:
+            via = (d.indirect.via,)
+            if d.indirect.arg_span is not None:
+                return "indirect-span", via
+            return "indirect-point", via
+        if d.point is not None:
+            arrays = _arrays_in(d.point)
+            if arrays:
+                shape = "indirect-point" if isinstance(d.point, ArrayTerm) else "point-expr"
+                return shape, arrays
+            continue
+        if d.span is not None:
+            arrays = tuple(
+                sorted(set(_arrays_in(d.span.lo)) | set(_arrays_in(d.span.hi)))
+            )
+            if arrays:
+                return "span-bound", arrays
     return None
 
 

@@ -179,6 +179,107 @@ def symrange(lo: ExprLike, hi: ExprLike) -> SymRange:
     return SymRange.make(lo, hi)
 
 
+# --------------------------------------------------------------------------
+# index vectors: products of ranges
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MultiSection:
+    """A product of per-dimension :class:`SymRange`s — the section of a
+    possibly multi-dimensional array.
+
+    ``dims == ()`` is the lattice top ⊤ ("unknown shape"): joining
+    sections of different ranks loses even the rank.  A scalar array
+    section is rank 1; the 1-D algebra is exactly the ``rank == 1``
+    special case of every operation here.
+    """
+
+    dims: tuple[SymRange, ...]
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def of(*dims: "SymRange | ExprLike") -> "MultiSection":
+        return MultiSection(tuple(_as_range(d) for d in dims))
+
+    @staticmethod
+    def unknown(rank: int) -> "MultiSection":
+        return MultiSection((UNKNOWN_RANGE,) * rank)
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def is_top(self) -> bool:
+        return not self.dims
+
+    @property
+    def lead(self) -> SymRange:
+        """The leading dimension's range (rank ≥ 1)."""
+        return self.dims[0]
+
+    def dim(self, d: int) -> SymRange:
+        return self.dims[d]
+
+    @property
+    def is_point(self) -> bool:
+        """A single array element: every dimension is a point."""
+        return bool(self.dims) and all(r.is_point for r in self.dims)
+
+    @property
+    def is_unknown(self) -> bool:
+        """Nothing known beyond (at most) the rank."""
+        return not self.dims or all(r.is_unknown for r in self.dims)
+
+    def contains_values(self, values, env: Mapping) -> bool:  # noqa: ANN001
+        """Concrete membership of an index tuple (soundness tests)."""
+        if self.is_top or len(values) != self.rank:
+            return True  # unknown shape constrains nothing
+        return all(r.contains_value(v, env) for r, v in zip(self.dims, values))
+
+    # -- lattice ------------------------------------------------------------
+    def join(self, other: "MultiSection") -> "MultiSection":
+        """Per-dimension union hull; rank mismatch loses the shape (⊤)."""
+        if self.is_top or other.is_top or self.rank != other.rank:
+            return TOP_SECTION
+        return MultiSection(tuple(a.join(b) for a, b in zip(self.dims, other.dims)))
+
+    def meet(self, other: "MultiSection") -> "MultiSection":
+        """Per-dimension intersection; ⊤ is the meet identity."""
+        if self.is_top:
+            return other
+        if other.is_top:
+            return self
+        if self.rank != other.rank:
+            return TOP_SECTION  # incomparable shapes: nothing sound to keep
+        return MultiSection(tuple(a.meet(b) for a, b in zip(self.dims, other.dims)))
+
+    def widen(self, newer: "MultiSection") -> "MultiSection":
+        """Per-dimension interval widening; unstable rank widens to ⊤."""
+        if self.is_top or newer.is_top or self.rank != newer.rank:
+            return TOP_SECTION
+        return MultiSection(tuple(a.widen(b) for a, b in zip(self.dims, newer.dims)))
+
+    # -- structure ----------------------------------------------------------
+    def subst(self, fn: SubstFn) -> "MultiSection":
+        return MultiSection(tuple(r.subst(fn) for r in self.dims))
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "[?]"
+        return " × ".join(str(r) for r in self.dims)
+
+
+TOP_SECTION = MultiSection(())
+
+
+def multisection(*dims: "SymRange | ExprLike") -> MultiSection:
+    """Public constructor mirroring :func:`symrange`."""
+    return MultiSection.of(*dims)
+
+
 def _as_range(x: "SymRange | ExprLike") -> SymRange:
     if isinstance(x, SymRange):
         return x

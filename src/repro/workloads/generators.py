@@ -155,6 +155,15 @@ class _ArraySpec:
     name: str
     size_of: Callable[[int], int]
     init: str  # "zeros" | "rand"
+    #: multi-dimensional arrays give the full shape instead of a size
+    shape_of: "Callable[[int], tuple[int, ...]] | None" = None
+    #: parameter declarator suffix (trailing dims must be literal in C)
+    decl: str = "[]"
+
+    def shape(self, n: int) -> tuple[int, ...]:
+        if self.shape_of is not None:
+            return tuple(max(int(d), 1) for d in self.shape_of(n))
+        return (max(int(self.size_of(n)), 1),)
 
 
 @dataclass(frozen=True)
@@ -408,6 +417,41 @@ def _seg_counter_fill(rng: np.random.Generator, t: str) -> _Segment:
     )
 
 
+def _seg_multidim(rng: np.random.Generator, t: str) -> _Segment:
+    """2-D arrays: an indirectly-indexed leading dimension (row map with
+    a randomized stride — injective only for some strides, so the
+    scatter must stay conservative) and an affine trailing dimension; a
+    direct-row variant is trivially parallel through the leading
+    dimension of the index-vector test."""
+    w = int(rng.integers(2, 5))
+    s = int(rng.integers(1, 4))
+    base = int(rng.integers(0, 3))
+    code = (
+        f"    for (i = 0; i < n; i++) {{ mp{t}[i] = (i * {s} + {base}) % n; }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        for (j = 0; j < {w}; j++) {{ mrow{t}[i][j] = mp{t}[i] + j; }}\n"
+        f"    }}\n"
+        f"    for (i = 0; i < n; i++) {{\n"
+        f"        for (j = 0; j < {w}; j++) {{ mind{t}[mp{t}[i]][j] = i + j; }}\n"
+        f"    }}\n"
+    )
+    return _Segment(
+        family=f"multidim(s={s},w={w})",
+        code=code,
+        arrays=(
+            _ArraySpec(f"mp{t}", lambda n: n, "zeros"),
+            _ArraySpec(
+                f"mrow{t}", lambda n: n, "zeros",
+                shape_of=lambda n: (n, w), decl=f"[][{w}]",
+            ),
+            _ArraySpec(
+                f"mind{t}", lambda n: n, "zeros",
+                shape_of=lambda n: (n, w), decl=f"[][{w}]",
+            ),
+        ),
+    )
+
+
 _SEGMENT_FAMILIES: "list[Callable[[np.random.Generator, str], _Segment]]" = [
     _seg_strided_scatter,
     _seg_rowptr_segments,
@@ -419,6 +463,7 @@ _SEGMENT_FAMILIES: "list[Callable[[np.random.Generator, str], _Segment]]" = [
     _seg_param_stride,
     _seg_deep_nest,
     _seg_counter_fill,
+    _seg_multidim,
 ]
 
 
@@ -441,7 +486,7 @@ def random_kernel(seed: int) -> RandomKernel:
     scalar_specs = [spec for seg in segments for spec in seg.scalars]
     locals_ = [name for seg in segments for name in seg.locals_]
     params = ", ".join(
-        [f"int {spec.name}[]" for spec in specs]
+        [f"int {spec.name}{spec.decl}" for spec in specs]
         + [f"int {spec.name}" for spec in scalar_specs]
         + ["int n"]
     )
@@ -458,11 +503,11 @@ def random_kernel(seed: int) -> RandomKernel:
         n = int(irng.integers(4, 33))
         env: "dict[str, Any]" = {"n": n}
         for spec in specs:
-            size = max(int(spec.size_of(n)), 1)
+            shape = spec.shape(n)
             if spec.init == "rand":
-                env[spec.name] = irng.integers(0, 50, size=size).astype(np.int64)
+                env[spec.name] = irng.integers(0, 50, size=shape).astype(np.int64)
             else:
-                env[spec.name] = np.zeros(size, dtype=np.int64)
+                env[spec.name] = np.zeros(shape, dtype=np.int64)
         for sspec in scalar_specs:
             env[sspec.name] = int(irng.integers(sspec.lo, sspec.hi + 1))
         return env

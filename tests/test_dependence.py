@@ -218,3 +218,56 @@ class TestMethodComparison:
         )
         cmp = compare_methods(f, f.loop("L1"), res.env_at("L1"))
         assert cmp.verdicts["extended"] and cmp.verdicts["range"]
+
+
+class TestIdentityConvertGuardPairing:
+    def test_identity_convert_keeps_guard_pairing(self):
+        # the indirect dim sits on the *b* side: after Identity
+        # conversion the subset-injectivity check must instantiate each
+        # access's own guards (a regression here pairs b's subscript
+        # with a's guards and wrongly reports the pair dependent)
+        from repro.analysis.env import ELEM
+        from repro.dependence import (
+            Access,
+            DimAccess,
+            ExtendedRangeTest,
+            IndexVector,
+            IndirectIndex,
+        )
+        from repro.ir.symx import CondAtom
+        from repro.symbolic.expr import array_term, const, loopvar
+
+        src = (
+            "void f(int pos[], int id[], int out[], int n)"
+            "{ int i; for (i = 0; i < n; i++) { out[pos[i]] = i; } }"
+        )
+        func = build_function(src)
+        loop = next(iter(func.loops()))
+        env = PropertyEnv()
+        env.set_record(
+            ArrayRecord(
+                "pos",
+                props=frozenset({Prop.INJECTIVE}),
+                subset_guards=(CondAtom(">=", array_term("pos", ELEM), const(0)),),
+                source="asserted",
+            )
+        )
+        env.set_record(
+            ArrayRecord("id", props=frozenset({Prop.IDENTITY}), source="asserted")
+        )
+        lv = loopvar("i")
+        guard = (CondAtom(">=", array_term("pos", lv), const(0)),)
+        a = Access(
+            "out", True,
+            index=IndexVector((DimAccess(point=array_term("pos", lv)),)),
+            guards=guard,
+        )
+        b = Access(
+            "out", True,
+            index=IndexVector(
+                (DimAccess(indirect=IndirectIndex("id", arg_point=array_term("pos", lv))),)
+            ),
+            guards=guard,
+        )
+        verdict = ExtendedRangeTest(func, loop, env).test_pair(a, b)
+        assert verdict.independent, verdict.reason

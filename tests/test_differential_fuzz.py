@@ -85,14 +85,54 @@ class TestGeneratorContract:
         assert serial > 10
 
     def test_new_families_covered(self):
-        # PR 3 grew the pool: symbolic (parameter) strides, depth-3
-        # nests, and the guarded counter fill must all appear in a
-        # modest seed window so the soundness sweep actually sees them
+        # PR 3 grew the pool (symbolic strides, depth-3 nests, guarded
+        # counter fills); this PR adds 2-D kernels with an indirect
+        # leading dimension — all must appear in a modest seed window so
+        # the soundness sweep actually sees them
         seen: set[str] = set()
         for seed in range(80):
             for fam in random_kernel(seed).families:
                 seen.add(fam.split("(")[0])
-        assert {"param_stride", "deep_nest", "counter_fill"} <= seen
+        assert {"param_stride", "deep_nest", "counter_fill", "multidim"} <= seen
+
+    def test_multidim_direct_rows_parallel_indirect_conservative(self):
+        # the index-vector algebra must parallelize the direct-row 2-D
+        # fill (leading dimension = the loop variable) while the scatter
+        # through the unanalyzed row map stays serial
+        found = 0
+        for seed in range(120):
+            rk = random_kernel(seed)
+            if not any(f.startswith("multidim") for f in rk.families):
+                continue
+            found += 1
+            out = parallelize(rk.source)
+            labels = sorted(out.plan.loops)
+            mrow_loops = [
+                l for l in labels
+                if out.plan.loops[l].dependence is not None
+                and any(
+                    a.array.startswith("mrow")
+                    for a in out.plan.loops[l].dependence.accesses.accesses
+                    if a.is_write
+                )
+            ]
+            mind_loops = [
+                l for l in labels
+                if out.plan.loops[l].dependence is not None
+                and any(
+                    a.array.startswith("mind")
+                    for a in out.plan.loops[l].dependence.accesses.accesses
+                    if a.is_write
+                )
+            ]
+            assert mrow_loops and all(
+                out.plan.loops[l].parallel for l in mrow_loops
+            ), f"fuzz{seed}: direct-row 2-D fill not parallel"
+            outer_mind = [l for l in mind_loops if "." not in l]
+            assert outer_mind and all(
+                not out.plan.loops[l].parallel for l in outer_mind
+            ), f"fuzz{seed}: indirect-row scatter must stay conservative"
+        assert found >= 3
 
     def test_param_stride_stays_conservative(self):
         # a symbolic stride may be 0 at run time: the scatter loop must

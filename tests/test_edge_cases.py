@@ -54,10 +54,25 @@ class TestConservativeDegradation:
         )
         assert "a" in res.summary("L1").bottom_arrays
 
-    def test_multidim_write_is_bottom(self):
+    def test_multidim_write_gets_product_section(self):
+        # the index-vector algebra aggregates m[i][0] to the exact
+        # product section [0 : n-1] × [0] instead of bottoming the array
         f, res = analyzed(
             "void f(int n, int m[8][8]) { int i;"
             " for (i = 0; i < n; i++) { m[i][0] = i; } }"
+        )
+        summary = res.summary("L1")
+        assert "m" not in summary.bottom_arrays
+        fact = summary.array_facts["m"]
+        assert str(fact.section) == "[0 : n - 1] × [0]"
+        assert fact.must
+
+    def test_multidim_write_with_variant_trailing_dim_is_bottom(self):
+        # a trailing dimension swept by the loop variable is not a
+        # product region: stays conservative
+        f, res = analyzed(
+            "void f(int n, int m[8][8]) { int i;"
+            " for (i = 0; i < n; i++) { m[0][i] = i; } }"
         )
         assert "m" in res.summary("L1").bottom_arrays
 

@@ -168,3 +168,104 @@ class TestDomainTransferMonotone:
             kp = self._knowledge(env_poor)
             kr = self._knowledge(out_rich.env_before[label])
             assert set(kp) <= set(kr)
+
+
+class TestMultiSectionLattice:
+    """Lattice laws of the index-vector section algebra: per-dimension
+    join/widen idempotence and monotonicity, plus the unknown-rank top."""
+
+    @staticmethod
+    def _sections(seed: int, count: int = 40):
+        from repro.symbolic.expr import const, var
+        from repro.symbolic.ranges import (
+            MultiSection,
+            SymRange,
+            TOP_SECTION,
+            UNKNOWN_RANGE,
+            symrange,
+        )
+
+        rng = random.Random(seed)
+        atoms = [const(0), const(1), const(5), var("n"), var("m")]
+
+        def rand_range():
+            k = rng.random()
+            if k < 0.15:
+                return UNKNOWN_RANGE
+            lo, hi = rng.choice(atoms), rng.choice(atoms)
+            if k < 0.4:
+                return SymRange.point(lo)
+            return symrange(lo, hi)
+
+        out = [TOP_SECTION]
+        for _ in range(count):
+            rank = rng.randint(1, 3)
+            out.append(MultiSection(tuple(rand_range() for _ in range(rank))))
+        return out
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_join_and_widen_idempotent(self, seed):
+        for s in self._sections(seed):
+            assert s.join(s) == s
+            assert s.widen(s) == s
+            assert s.meet(s) == s
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_join_commutative_and_rank_safe(self, seed):
+        secs = self._sections(seed)
+        for a, b in zip(secs, secs[1:]):
+            assert a.join(b) == b.join(a)
+            if a.rank != b.rank or a.is_top or b.is_top:
+                assert a.join(b).is_top
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_per_dimension_monotone(self, seed):
+        # joining can only widen each dimension; meeting only narrows:
+        # every dimension of a ⊔ b contains the matching dimension of a
+        from repro.symbolic.compare import Prover, Tri
+        from repro.symbolic.facts import FactEnv
+
+        p = Prover(FactEnv())
+        secs = [s for s in self._sections(seed) if not s.is_top]
+        for a, b in zip(secs, secs[1:]):
+            j = a.join(b)
+            if j.is_top:
+                continue
+            for da, dj in zip(a.dims, j.dims):
+                # hull: lo(j) <= lo(a) and hi(a) <= hi(j) whenever the
+                # prover can compare at all (symbolic pairs may be
+                # incomparable — those joins fall to ±∞ hulls)
+                if da.has_finite_lo and dj.has_finite_lo:
+                    assert p.gt(dj.lo, da.lo) is not Tri.TRUE
+                if da.has_finite_hi and dj.has_finite_hi:
+                    assert p.lt(dj.hi, da.hi) is not Tri.TRUE
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_widen_stabilizes(self, seed):
+        # widening twice with the same newer value is a fixpoint
+        secs = self._sections(seed)
+        for a, b in zip(secs, secs[1:]):
+            w = a.widen(b)
+            assert w.widen(b).rank == w.rank
+            if a.rank == b.rank and not a.is_top:
+                assert w.widen(b) == w or w.is_top
+
+    def test_meet_identity_and_point_queries(self):
+        from repro.symbolic.expr import const
+        from repro.symbolic.ranges import (
+            MultiSection,
+            SymRange,
+            TOP_SECTION,
+            symrange,
+        )
+
+        s = MultiSection.of(symrange(0, 9), SymRange.point(const(3)))
+        assert TOP_SECTION.meet(s) == s
+        assert s.meet(TOP_SECTION) == s
+        assert not s.is_point
+        assert MultiSection.of(SymRange.point(const(1)), SymRange.point(const(2))).is_point
+        assert s.rank == 2 and s.lead == symrange(0, 9)
+        assert str(s) == "[0 : 9] × [3]"
+        assert str(MultiSection.of(symrange(0, 9))) == "[0 : 9]"
+        assert s.contains_values((5, 3), {})
+        assert not s.contains_values((5, 4), {})
