@@ -6,9 +6,16 @@ cost, quantified here: wall-clock per kernel for the full pipeline
 (parse → IR → two-phase analysis → dependence tests → planning), driven
 through the batch service (:mod:`repro.service`).
 
-Per-kernel timings use a fresh cache so they measure *cold* analysis;
-the summary sweep runs one cold batch and prints the engine's own
-timing table.
+Per-kernel timings use a fresh cache *and* cleared memo tables so they
+measure *cold* analysis — since the hash-consed symbolic core, a fresh
+``ResultCache`` alone is not cold: the expression memos, the prover
+memos, and the incremental nest cache all survive across engines in one
+process.  The summary sweep runs one cold batch and prints the engine's
+own timing table.
+
+The committed snapshot lives in ``BENCH_analysis.json``; regenerate it
+with ``PYTHONPATH=src python -m repro bench --analysis --json
+BENCH_analysis.json`` (see :mod:`repro.analysis.bench`).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import pytest
 
 from repro.service import AnalysisRequest, BatchEngine, ResultCache
+from repro.symbolic.expr import clear_memo_tables
 from repro.utils.tables import Table
 
 KERNEL_NAMES = [
@@ -40,7 +48,9 @@ def test_analysis_cost(benchmark, kernels, name):
     req = _request(kernels, name)
 
     def pipeline():
-        # fresh cache: measure the cold pipeline, not a cache lookup
+        # fresh cache + cleared memos: measure the cold pipeline, not a
+        # cache or memo lookup
+        clear_memo_tables()
         return BatchEngine(cache=ResultCache()).analyze(req)
 
     verdict = benchmark(pipeline)
@@ -52,6 +62,7 @@ def test_analysis_cost_summary(benchmark, kernels):
     requests = [_request(kernels, name) for name in KERNEL_NAMES]
 
     def sweep():
+        clear_memo_tables()
         return BatchEngine(cache=ResultCache()).run(requests)
 
     report = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -7,6 +7,7 @@ Usage::
     python -m repro explain LOOP (FILE.c | --kernel NAME) [--method extended]
     python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH] [--validate]
     python -m repro bench [--json PATH] [--size N] [--check]
+    python -m repro bench --analysis [--json PATH] [--check]
     python -m repro figure1
     python -m repro figure10
 
@@ -20,8 +21,10 @@ engine over the built-in corpus and/or user C files (see
 :mod:`repro.service`) with optional dynamic-oracle validation of the
 PARALLEL verdicts; ``bench`` measures the runtime engines (interp vs
 compiled, see :mod:`repro.runtime.bench`) and writes
-``BENCH_runtime.json``; the ``figure*`` commands regenerate the paper's
-evaluation outputs.
+``BENCH_runtime.json``, or with ``--analysis`` measures the static
+analyzer's cold corpus sweep (see :mod:`repro.analysis.bench`) and
+writes ``BENCH_analysis.json``; the ``figure*`` commands regenerate the
+paper's evaluation outputs.
 """
 
 from __future__ import annotations
@@ -155,6 +158,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.analysis:
+        return _cmd_bench_analysis(args)
     from repro.runtime.bench import (
         check_regression,
         render,
@@ -188,6 +193,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         if not args.quiet:
             print(f"perf check passed (min speedup {args.min_speedup}x)")
+    return 0
+
+
+def _cmd_bench_analysis(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import (
+        check_regression,
+        render,
+        run_analysis_bench,
+        to_json,
+    )
+
+    doc = run_analysis_bench(repeats=args.repeats)
+    if not args.quiet:
+        print(render(doc))
+    if args.json == "-":
+        print(to_json(doc))
+    elif args.json:
+        Path(args.json).write_text(to_json(doc) + "\n")
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    if args.check:
+        problems = check_regression(doc, max_sweep_seconds=args.max_sweep_seconds)
+        if problems:
+            for p in problems:
+                print(f"PERF REGRESSION: {p}")
+            return 1
+        if not args.quiet:
+            print(
+                f"perf check passed (corpus sweep budget {args.max_sweep_seconds}s)"
+            )
     return 0
 
 
@@ -263,10 +298,24 @@ def make_parser() -> argparse.ArgumentParser:
     )
     b.set_defaults(fn=cmd_batch)
 
-    r = sub.add_parser("bench", help="benchmark the runtime engines (interp vs compiled)")
-    r.add_argument("--json", default=None, metavar="PATH", help="write BENCH_runtime.json to PATH ('-' for stdout)")
+    r = sub.add_parser(
+        "bench",
+        help="benchmark the runtime engines (default) or the analyzer (--analysis)",
+    )
+    r.add_argument(
+        "--analysis",
+        action="store_true",
+        help="benchmark the static analyzer (cold corpus sweep) instead of the runtime engines",
+    )
+    r.add_argument("--json", default=None, metavar="PATH", help="write the bench JSON to PATH ('-' for stdout)")
     r.add_argument("--size", type=int, default=20000, help="kernel problem size (default 20000)")
-    r.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default 3)")
+    r.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default 3; --analysis uses median too)")
+    r.add_argument(
+        "--max-sweep-seconds",
+        type=float,
+        default=1.0,
+        help="--analysis --check budget for the cold corpus sweep (default 1.0)",
+    )
     r.add_argument("--fuzz-seeds", type=int, default=15, help="random kernels in the fuzz sweep (default 15)")
     r.add_argument("--kernels", default=None, help="comma-separated kernel subset (default: all)")
     r.add_argument("--check", action="store_true", help="exit 1 unless compiled beats interp on every kernel")

@@ -1,4 +1,4 @@
-"""Hand-written lexer for the mini-C subset.
+"""Regex-based lexer for the mini-C subset.
 
 Handles identifiers, integer/float literals, string/char literals, the
 C punctuators (longest-match), ``//`` and ``/* */`` comments, and
@@ -6,176 +6,127 @@ C punctuators (longest-match), ``//`` and ``/* */`` comments, and
 :class:`~repro.frontend.tokens.Token` of kind ``PRAGMA`` (the parser
 attaches them to the following statement); other preprocessor lines are
 skipped — the corpus kernels do not rely on macro expansion.
+
+One master regular expression with named alternatives is matched
+repeatedly against the source (the classic "scanner" idiom).  This
+replaced a hand-written per-character loop that dominated the cold
+corpus-sweep profile; the token stream is byte-for-byte identical,
+including location info and the error cases (unterminated comment /
+string / char literal, unexpected character).
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.errors import LexError
 from repro.frontend.source import Loc
 from repro.frontend.tokens import KEYWORDS, PUNCTUATORS, TokKind, Token
 
+# Longest punctuator first so alternation implements longest-match.
+_PUNCT_ALT = "|".join(
+    re.escape(p) for p in sorted(PUNCTUATORS, key=len, reverse=True)
+)
+
+# Alternative order matters: comments before the '/' punctuator, numbers
+# before the '.' punctuator (leading-dot floats), whitespace first
+# because it is the most common match.
+_TOKEN_RE = re.compile(
+    r"""
+     (?P<WS>[ \t\r\n]+)
+    |(?P<LINE_COMMENT>//[^\n]*)
+    |(?P<BLOCK_COMMENT>/\*(?s:.)*?\*/)
+    |(?P<PP>\#(?:\\\n|[^\n])*)
+    |(?P<IDENT>[^\W\d]\w*)
+    |(?P<NUM>0[xX][0-9a-fA-F]*[uUlLfF]*
+        |(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[uUlLfF]*)
+    |(?P<STRING>"(?:\\(?s:.)|[^"\\])*")
+    |(?P<CHAR>'(?:\\(?s:.)|[^'\\])*')
+    |(?P<PUNCT>%s)
+    """
+    % _PUNCT_ALT,
+    re.VERBOSE,
+)
+
+_SUFFIX_RE = re.compile(r"[uUlLfF]+\Z")
+_HEX_BODY_RE = re.compile(r"0[xX][0-9a-fA-F]*")
+
+
+def _number_kind(text: str) -> TokKind:
+    """INT or FLOAT, by C literal shape (suffixes included in ``text``)."""
+    if text[:2] in ("0x", "0X"):
+        # hex digits are consumed greedily (so a trailing 'f' is a digit,
+        # not a suffix); only an f/F in the residual suffix means float
+        suffix = text[_HEX_BODY_RE.match(text).end() :]
+        return TokKind.FLOAT if "f" in suffix or "F" in suffix else TokKind.INT
+    m = _SUFFIX_RE.search(text)
+    suffix = m.group() if m else ""
+    body = text[: len(text) - len(suffix)]
+    if "." in body or "e" in body or "E" in body or "f" in suffix or "F" in suffix:
+        return TokKind.FLOAT
+    return TokKind.INT
+
 
 def tokenize(source: str) -> list[Token]:
     """Tokenize ``source``; returns a token list ending with an EOF token."""
-    return _Lexer(source).run()
-
-
-class _Lexer:
-    def __init__(self, source: str) -> None:
-        self.src = source
-        self.pos = 0
-        self.line = 1
-        self.col = 1
-        self.tokens: list[Token] = []
-
-    # -- helpers -------------------------------------------------------------
-    def _loc(self) -> Loc:
-        return Loc(self.line, self.col)
-
-    def _peek(self, off: int = 0) -> str:
-        p = self.pos + off
-        return self.src[p] if p < len(self.src) else ""
-
-    def _advance(self, n: int = 1) -> None:
-        for _ in range(n):
-            if self.pos < len(self.src):
-                if self.src[self.pos] == "\n":
-                    self.line += 1
-                    self.col = 1
-                else:
-                    self.col += 1
-                self.pos += 1
-
-    def _starts_with(self, text: str) -> bool:
-        return self.src.startswith(text, self.pos)
-
-    # -- main loop -------------------------------------------------------------
-    def run(self) -> list[Token]:
-        while self.pos < len(self.src):
-            ch = self._peek()
-            if ch in " \t\r\n":
-                self._advance()
-            elif self._starts_with("//"):
-                self._skip_line_comment()
-            elif self._starts_with("/*"):
-                self._skip_block_comment()
-            elif ch == "#":
-                self._preprocessor_line()
-            elif ch.isalpha() or ch == "_":
-                self._ident_or_keyword()
-            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
-                self._number()
-            elif ch == '"':
-                self._string()
-            elif ch == "'":
-                self._char()
-            else:
-                self._punct()
-        self.tokens.append(Token(TokKind.EOF, "", self._loc()))
-        return self.tokens
-
-    # -- token scanners ----------------------------------------------------------
-    def _skip_line_comment(self) -> None:
-        while self.pos < len(self.src) and self._peek() != "\n":
-            self._advance()
-
-    def _skip_block_comment(self) -> None:
-        start = self._loc()
-        self._advance(2)
-        while self.pos < len(self.src) and not self._starts_with("*/"):
-            self._advance()
-        if self.pos >= len(self.src):
-            raise LexError("unterminated block comment", start.line, start.col)
-        self._advance(2)
-
-    def _preprocessor_line(self) -> None:
-        loc = self._loc()
-        start = self.pos
-        while self.pos < len(self.src) and self._peek() != "\n":
-            # honor line continuations
-            if self._peek() == "\\" and self._peek(1) == "\n":
-                self._advance(2)
-                continue
-            self._advance()
-        text = self.src[start : self.pos].strip()
-        if text.startswith("#pragma"):
-            self.tokens.append(Token(TokKind.PRAGMA, text[len("#pragma") :].strip(), loc))
-        # #include / #define / #ifdef... are ignored by design
-
-    def _ident_or_keyword(self) -> None:
-        loc = self._loc()
-        start = self.pos
-        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
-            self._advance()
-        text = self.src[start : self.pos]
-        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
-        self.tokens.append(Token(kind, text, loc))
-
-    def _number(self) -> None:
-        loc = self._loc()
-        start = self.pos
-        is_float = False
-        if self._starts_with("0x") or self._starts_with("0X"):
-            self._advance(2)
-            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
-                self._advance()
+    tokens: list[Token] = []
+    append = tokens.append
+    match = _TOKEN_RE.match
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while pos < n:
+        m = match(source, pos)
+        if m is None:
+            ch = source[pos]
+            if source.startswith("/*", pos):
+                raise LexError("unterminated block comment", line, col)
+            if ch == '"':
+                raise LexError("unterminated string literal", line, col)
+            if ch == "'":
+                raise LexError("unterminated char literal", line, col)
+            raise LexError(f"unexpected character {ch!r}", line, col)
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "PUNCT":
+            if text == "/" and source.startswith("/*", pos):
+                # '/*' with no closing '*/': the comment alternative
+                # failed, so the bare '/' punctuator matched instead
+                raise LexError("unterminated block comment", line, col)
+            append(Token(TokKind.PUNCT, text, Loc(line, col)))
+        elif kind == "IDENT":
+            append(
+                Token(
+                    TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT,
+                    text,
+                    Loc(line, col),
+                )
+            )
+        elif kind == "NUM":
+            append(Token(_number_kind(text), text, Loc(line, col)))
+        elif kind == "PP":
+            stripped = text.strip()
+            if stripped.startswith("#pragma"):
+                append(
+                    Token(
+                        TokKind.PRAGMA,
+                        stripped[len("#pragma") :].strip(),
+                        Loc(line, col),
+                    )
+                )
+            # #include / #define / #ifdef... are ignored by design
+        elif kind == "STRING":
+            append(Token(TokKind.STRING, text, Loc(line, col)))
+        elif kind == "CHAR":
+            append(Token(TokKind.CHAR, text, Loc(line, col)))
+        # WS / LINE_COMMENT / BLOCK_COMMENT produce no token
+        pos = m.end()
+        nl = text.rfind("\n")
+        if nl >= 0:
+            line += text.count("\n")
+            col = len(text) - nl
         else:
-            while self._peek().isdigit():
-                self._advance()
-            if self._peek() == ".":
-                is_float = True
-                self._advance()
-                while self._peek().isdigit():
-                    self._advance()
-            if self._peek() in "eE" and (
-                self._peek(1).isdigit()
-                or (self._peek(1) in "+-" and self._peek(2).isdigit())
-            ):
-                is_float = True
-                self._advance()
-                if self._peek() in "+-":
-                    self._advance()
-                while self._peek().isdigit():
-                    self._advance()
-        # suffixes
-        while self._peek() and self._peek() in "uUlLfF":
-            if self._peek() in "fF":
-                is_float = True
-            self._advance()
-        text = self.src[start : self.pos]
-        self.tokens.append(Token(TokKind.FLOAT if is_float else TokKind.INT, text, loc))
-
-    def _string(self) -> None:
-        loc = self._loc()
-        start = self.pos
-        self._advance()
-        while self.pos < len(self.src) and self._peek() != '"':
-            if self._peek() == "\\":
-                self._advance()
-            self._advance()
-        if self.pos >= len(self.src):
-            raise LexError("unterminated string literal", loc.line, loc.col)
-        self._advance()
-        self.tokens.append(Token(TokKind.STRING, self.src[start : self.pos], loc))
-
-    def _char(self) -> None:
-        loc = self._loc()
-        start = self.pos
-        self._advance()
-        while self.pos < len(self.src) and self._peek() != "'":
-            if self._peek() == "\\":
-                self._advance()
-            self._advance()
-        if self.pos >= len(self.src):
-            raise LexError("unterminated char literal", loc.line, loc.col)
-        self._advance()
-        self.tokens.append(Token(TokKind.CHAR, self.src[start : self.pos], loc))
-
-    def _punct(self) -> None:
-        loc = self._loc()
-        for p in PUNCTUATORS:
-            if self._starts_with(p):
-                self._advance(len(p))
-                self.tokens.append(Token(TokKind.PUNCT, p, loc))
-                return
-        raise LexError(f"unexpected character {self._peek()!r}", loc.line, loc.col)
+            col += len(text)
+    append(Token(TokKind.EOF, "", Loc(line, col)))
+    return tokens

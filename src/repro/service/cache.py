@@ -134,6 +134,13 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Disk writes that failed (read-only/full cache dir): the batch
+    #: still succeeds but silently degrades to recompute-every-time, so
+    #: the count is surfaced in ``repro batch`` summaries.
+    write_errors: int = 0
+    #: Disk entries dropped because they were unreadable or not valid
+    #: JSON — lets fleet-shared cache directories detect bitrot.
+    corrupt_entries: int = 0
 
     @property
     def hits(self) -> int:
@@ -145,6 +152,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "write_errors": self.write_errors,
+            "corrupt_entries": self.corrupt_entries,
         }
 
 
@@ -210,13 +219,19 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            # corrupted entry: drop it and recompute
+            # corrupted entry: drop it, count it, and recompute
+            self.stats.corrupt_entries += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         if not isinstance(payload, dict):
+            self.stats.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         return payload
 
@@ -229,6 +244,9 @@ class ResultCache:
             tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
             tmp.replace(path)
         except OSError:
+            # A read-only or full cache dir must not fail the batch, but
+            # it must not be silent either: every future run recomputes.
+            self.stats.write_errors += 1
             try:
                 tmp.unlink()
             except OSError:

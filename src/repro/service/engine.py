@@ -162,6 +162,18 @@ class BatchReport:
                 "cache: {memory_hits} memory hits, {disk_hits} disk hits, "
                 "{misses} misses, {stores} stores".format(**self.cache_stats)
             )
+            write_errors = self.cache_stats.get("write_errors", 0)
+            if write_errors:
+                lines.append(
+                    f"WARNING: {write_errors} cache write failure(s) — cache dir "
+                    "unwritable or full; results will be recomputed next run"
+                )
+            corrupt = self.cache_stats.get("corrupt_entries", 0)
+            if corrupt:
+                lines.append(
+                    f"WARNING: {corrupt} corrupt cache entr(y/ies) dropped and "
+                    "recomputed — check the cache directory for bitrot"
+                )
         return "\n".join(lines)
 
 
@@ -184,35 +196,57 @@ def _assertions_fingerprint(env) -> str:  # noqa: ANN001 — PropertyEnv | None
     return "\n".join(parts)
 
 
+def _prepare(req: AnalysisRequest):  # noqa: ANN202 — (key, IRFunction | None, env)
+    """Fingerprint ``req`` and keep the parsed artifacts.
+
+    Returns ``(cache_key, func, assertions)`` so a cache miss can run the
+    pipeline on the already-built :class:`IRFunction` instead of parsing
+    the source a second time.  ``func`` is ``None`` when the frontend
+    rejects the source (the rejection itself is then cached under a key
+    derived from the raw text)."""
+    from repro.ir import build_function, function_to_c
+
+    env = req.assertion_env()
+    fp = _assertions_fingerprint(env)
+    func = None
+    try:
+        func = build_function(req.source, req.function)
+        ir_text = function_to_c(func)
+    except ReproError:
+        ir_text = "unparsed:" + req.source
+    return cache_key(ir_text, req.method, fp), func, env
+
+
 def _request_key(req: AnalysisRequest) -> str:
     """Cache key for ``req``; falls back to hashing the raw source when
     the frontend rejects it (the rejection itself is then cached)."""
-    from repro.ir import build_function, function_to_c
-
-    fp = _assertions_fingerprint(req.assertion_env())
-    try:
-        ir_text = function_to_c(build_function(req.source, req.function))
-    except ReproError:
-        ir_text = "unparsed:" + req.source
-    return cache_key(ir_text, req.method, fp)
+    return _prepare(req)[0]
 
 
-def _compute_payload(req: AnalysisRequest, key: "str | None" = None) -> dict:
+def _compute_payload(
+    req: AnalysisRequest,
+    key: "str | None" = None,
+    func=None,  # noqa: ANN001 — IRFunction, optional fast path
+    assertions=None,  # noqa: ANN001 — PropertyEnv, optional fast path
+) -> dict:
     """Run the full pipeline for one request (worker side; pure JSON out).
 
     ``key`` is the request's cache key when the caller already computed
-    it (avoids re-parsing the source a second time just for the hash).
+    it; ``func``/``assertions`` are the artifacts :func:`_prepare` built
+    while fingerprinting, so the serial path parses each source exactly
+    once.  Workers across a process pool receive only ``(req, key)`` and
+    parse for themselves.
     """
     from repro.parallelizer import parallelize
 
     if key is None:
-        key = _request_key(req)
+        key, func, assertions = _prepare(req)
     base = {"name": req.name, "method": req.method, "cache_key": key}
     try:
         out = parallelize(
-            req.source,
+            func if func is not None else req.source,
             method=req.method,
-            assertions=req.assertion_env(),
+            assertions=assertions if assertions is not None else req.assertion_env(),
             function=req.function,
         )
     except ReproError as exc:
@@ -262,12 +296,12 @@ class BatchEngine:
     def analyze(self, req: AnalysisRequest) -> KernelVerdict:
         """Analyze one request through the cache (always in-process)."""
         t0 = time.perf_counter()
-        key = _request_key(req)
+        key, func, env = _prepare(req)
         hit = self.cache.get(key)
         if hit is not None:
             return KernelVerdict(req.name, {**hit, "name": req.name}, True,
                                  time.perf_counter() - t0)
-        payload = _compute_payload(req, key)
+        payload = _compute_payload(req, key, func=func, assertions=env)
         self.cache.put(key, payload)
         return KernelVerdict(req.name, payload, False, time.perf_counter() - t0)
 
@@ -290,17 +324,17 @@ class BatchEngine:
         t_start = time.perf_counter()
 
         verdicts: dict[str, KernelVerdict] = {}
-        misses: list[tuple[AnalysisRequest, str]] = []
+        misses: list[tuple] = []  # (req, key, func, env)
         for req in reqs:
             t0 = time.perf_counter()
-            key = _request_key(req)
+            key, func, env = _prepare(req)
             hit = self.cache.get(key)
             if hit is not None:
                 verdicts[req.name] = KernelVerdict(
                     req.name, {**hit, "name": req.name}, True, time.perf_counter() - t0
                 )
             else:
-                misses.append((req, key))
+                misses.append((req, key, func, env))
 
         for req, key, payload, seconds in self._compute_all(misses):
             self.cache.put(key, payload)
@@ -315,27 +349,36 @@ class BatchEngine:
         )
 
     def _compute_all(
-        self, misses: Sequence[tuple[AnalysisRequest, str]]
+        self, misses: "Sequence[tuple]"
     ) -> list[tuple[AnalysisRequest, str, dict, float]]:
         if not misses:
             return []
         if self.jobs == 1 or len(misses) == 1:
             out = []
-            for req, key in misses:
+            for req, key, func, env in misses:
                 t0 = time.perf_counter()
-                payload = _compute_payload(req, key)
+                payload = _compute_payload(req, key, func=func, assertions=env)
                 out.append((req, key, payload, time.perf_counter() - t0))
             return out
         workers = min(self.jobs, len(misses))
         t0 = time.perf_counter()
+        # Workers re-parse from source: only (req, key) crosses the
+        # process boundary, keeping worker inputs plain picklable data.
         with ProcessPoolExecutor(max_workers=workers) as pool:
             payloads = list(
-                pool.map(_compute_payload, [r for r, _ in misses], [k for _, k in misses])
+                pool.map(
+                    _compute_payload,
+                    [m[0] for m in misses],
+                    [m[1] for m in misses],
+                )
             )
         # per-item wall time is not observable across the pool; attribute
         # the batch wall clock evenly so totals stay meaningful
         each = (time.perf_counter() - t0) / len(misses)
-        return [(req, key, payload, each) for (req, key), payload in zip(misses, payloads)]
+        return [
+            (req, key, payload, each)
+            for (req, key, _f, _e), payload in zip(misses, payloads)
+        ]
 
 
 # --------------------------------------------------------------------------

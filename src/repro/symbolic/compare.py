@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import weakref
 from fractions import Fraction
 from typing import Iterable
 
@@ -51,6 +52,7 @@ from repro.symbolic.expr import (
     add,
     const,
     mul,
+    register_memo_table,
     sub,
 )
 from repro.symbolic.facts import ArrayFact, FactEnv, MonoDir
@@ -115,6 +117,24 @@ class _Side(enum.Enum):
 _MAX_DEPTH = 8
 _MAX_PAIR_COMBOS = 16
 
+#: Live prover instances, so the memo-table registry in
+#: :mod:`repro.symbolic.expr` can count and clear their per-instance
+#: memos too ("cold" benchmark runs previously missed these entirely).
+_live_provers: "weakref.WeakSet[Prover]" = weakref.WeakSet()
+
+
+def _prover_memo_entries() -> int:
+    return sum(len(p._memo_nn) + len(p._memo_rank) for p in _live_provers)
+
+
+def _prover_memo_clear() -> None:
+    for p in _live_provers:
+        p._memo_nn.clear()
+        p._memo_rank.clear()
+
+
+register_memo_table("compare.prover", _prover_memo_entries, _prover_memo_clear)
+
 
 class Prover:
     """Comparison engine bound to one fact environment."""
@@ -122,8 +142,21 @@ class Prover:
     def __init__(self, facts: FactEnv | None = None, max_depth: int = _MAX_DEPTH):
         self.facts = facts if facts is not None else FactEnv()
         self.max_depth = max_depth
-        self._memo: dict[tuple, Tri] = {}
-        self._in_progress: set[tuple] = set()
+        # Per-instance memos, identity-keyed on interned expressions.
+        # Validity is tied to ``facts.version`` (which only grows): on a
+        # version change the tables are dropped wholesale instead of
+        # carrying the version inside every key.
+        self._memo_nn: dict[Expr, Tri] = {}
+        self._memo_rank: dict[Atom, int] = {}
+        self._memo_version = self.facts.version
+        self._in_progress: set[Expr] = set()
+        _live_provers.add(self)
+
+    def _sync_memo(self) -> None:
+        if self._memo_version != self.facts.version:
+            self._memo_nn.clear()
+            self._memo_rank.clear()
+            self._memo_version = self.facts.version
 
     # -- public queries (integer semantics) ---------------------------------
     def nonneg(self, e: ExprLike) -> Tri:
@@ -176,17 +209,18 @@ class Prover:
             return Tri.TRUE if e.value >= 0 else Tri.FALSE
         if depth <= 0:
             return Tri.UNKNOWN
-        key = (e, self.facts.version, "nn")
-        if key in self._memo:
-            return self._memo[key]
-        if key in self._in_progress:
+        self._sync_memo()
+        cached = self._memo_nn.get(e)
+        if cached is not None:
+            return cached
+        if e in self._in_progress:
             return Tri.UNKNOWN
-        self._in_progress.add(key)
+        self._in_progress.add(e)
         try:
             result = self._nonneg_uncached(e, depth)
         finally:
-            self._in_progress.discard(key)
-        self._memo[key] = result
+            self._in_progress.discard(e)
+        self._memo_nn[e] = result
         return result
 
     def _nonneg_uncached(self, e: Expr, depth: int) -> Tri:
@@ -323,23 +357,22 @@ class Prover:
         over unranked symbols, 1+max = facts referencing ranked atoms."""
         if atom in visiting or depth <= 0:
             return 0
-        key = (atom, self.facts.version, "rank")
-        if key in self._memo:
-            return self._memo[key]  # type: ignore[return-value]
+        self._sync_memo()
+        cached_rank = self._memo_rank.get(atom)
+        if cached_rank is not None:
+            return cached_rank
         endpoints: list[Expr] = []
         if isinstance(atom, Sym):
             rng = self.facts.sym_range(atom)
             if rng is None:
-                rank = 0
-                self._memo[key] = rank  # type: ignore[assignment]
-                return rank
+                self._memo_rank[atom] = 0
+                return 0
             endpoints = [rng.lo, rng.hi]
         elif isinstance(atom, ArrayTerm):
             fact = self.facts.array_fact(atom.array)
             if fact is None or (fact.value_range is None and not fact.identity):
-                rank = 0
-                self._memo[key] = rank  # type: ignore[assignment]
-                return rank
+                self._memo_rank[atom] = 0
+                return 0
             if fact.identity:
                 endpoints = [atom.index]
             if fact.value_range is not None:
@@ -354,7 +387,7 @@ class Prover:
             for a in ep.atoms():
                 sub_rank = max(sub_rank, self._atom_rank(a, depth - 1, nested))
         rank = 1 + sub_rank
-        self._memo[key] = rank  # type: ignore[assignment]
+        self._memo_rank[atom] = rank
         return rank
 
     def _bound_once(self, e: Expr, side: _Side, depth: int) -> Expr:

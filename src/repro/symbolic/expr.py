@@ -27,7 +27,6 @@ Construction goes through the factory functions :func:`add`, :func:`sub`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from fractions import Fraction
 from typing import Callable, Iterable, Mapping, Sequence, Union
@@ -51,12 +50,41 @@ class SymKind(Enum):
 # --------------------------------------------------------------------------
 # Expression node classes
 # --------------------------------------------------------------------------
+#
+# Every node class is *hash-consed*: construction goes through an intern
+# table keyed by the (normalized) constructor arguments, so two
+# structurally equal constructions return the identical object.  This
+# makes ``__eq__`` / ``__hash__`` plain pointer operations (the object
+# defaults), which is what the analysis hot paths — memo-table lookups,
+# monomial sorting, frozenset/dict membership — actually spend their
+# time on.
+#
+# The intern tables are unbounded and must NEVER be cleared while expr
+# objects may be alive: clearing one would allow a later construction to
+# produce a second, non-identical object that is structurally equal to a
+# live one, silently breaking identity-as-equality everywhere.  They are
+# therefore deliberately *not* part of the memo-table registry below
+# (memo tables cache derived results and may be dropped at any time;
+# intern tables define object identity and may not).
 
 
 class Expr:
-    """Base class of all symbolic expressions (immutable)."""
+    """Base class of all symbolic expressions (immutable, interned)."""
 
     __slots__ = ()
+
+    # -- immutability / interning support -----------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Expr":
+        return self
 
     # -- classification helpers -------------------------------------------
     @property
@@ -148,17 +176,55 @@ class Atom(Expr):
     __slots__ = ()
 
 
-@dataclass(frozen=True, slots=True)
+_const_intern: dict[Fraction, "Const"] = {}
+#: Integer fast path: ``hash(Fraction)`` needs a modular inverse, so the
+#: ubiquitous integer constants get their own int-keyed table.  An
+#: integer-valued Fraction and its int hash/compare equal, so the two
+#: tables can never disagree — ints are normalized before the main
+#: table is consulted.
+_const_int_intern: dict[int, "Const"] = {}
+
+
 class Const(Expr):
     """An integer (or exact rational) constant."""
 
+    __slots__ = ("value", "_key_cache")
+
     value: Fraction
+
+    def __new__(cls, value: Number) -> "Const":
+        if type(value) is int:
+            self = _const_int_intern.get(value)
+            if self is None:
+                self = object.__new__(cls)
+                object.__setattr__(self, "value", Fraction(value))
+                object.__setattr__(self, "_key_cache", None)
+                _const_int_intern[value] = self
+            return self
+        if type(value) is not Fraction:
+            value = Fraction(value)
+        if value.denominator == 1:
+            return cls.__new__(cls, value.numerator)
+        self = _const_intern.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "value", value)
+            object.__setattr__(self, "_key_cache", None)
+            _const_intern[value] = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (Const, (self.value,))
 
     def const_value(self) -> Fraction:
         return self.value
 
     def _key(self) -> tuple:
-        return (0, float(self.value))
+        k = self._key_cache
+        if k is None:
+            k = (0, float(self.value))
+            object.__setattr__(self, "_key_cache", k)
+        return k
 
     def __str__(self) -> str:
         if self.value.denominator == 1:
@@ -169,12 +235,30 @@ class Const(Expr):
         return f"Const({self.value})"
 
 
-@dataclass(frozen=True, slots=True)
+_sym_intern: dict[tuple[str, SymKind], "Sym"] = {}
+
+
 class Sym(Atom):
     """A named symbol with a :class:`SymKind` role."""
 
+    __slots__ = ("name", "kind", "_key_cache")
+
     name: str
-    kind: SymKind = SymKind.VAR
+    kind: SymKind
+
+    def __new__(cls, name: str, kind: SymKind = SymKind.VAR) -> "Sym":
+        key = (name, kind)
+        self = _sym_intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "kind", kind)
+            object.__setattr__(self, "_key_cache", None)
+            _sym_intern[key] = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (Sym, (self.name, self.kind))
 
     def atoms(self) -> frozenset[Atom]:
         return frozenset({self})
@@ -187,7 +271,11 @@ class Sym(Atom):
         return rep if rep is not None else self
 
     def _key(self) -> tuple:
-        return (1, self.kind.value, self.name)
+        k = self._key_cache
+        if k is None:
+            k = (1, self.kind.value, self.name)
+            object.__setattr__(self, "_key_cache", k)
+        return k
 
     def __str__(self) -> str:
         if self.kind is SymKind.ITER0:
@@ -200,12 +288,30 @@ class Sym(Atom):
         return f"Sym({self.name!r}, {self.kind.name})"
 
 
-@dataclass(frozen=True, slots=True)
+_array_intern: dict[tuple[str, Expr], "ArrayTerm"] = {}
+
+
 class ArrayTerm(Atom):
     """The symbolic value of one array element, e.g. ``rowptr[i-1]``."""
 
+    __slots__ = ("array", "index", "_key_cache")
+
     array: str
     index: Expr
+
+    def __new__(cls, array: str, index: Expr) -> "ArrayTerm":
+        key = (array, index)
+        self = _array_intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "array", array)
+            object.__setattr__(self, "index", index)
+            object.__setattr__(self, "_key_cache", None)
+            _array_intern[key] = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (ArrayTerm, (self.array, self.index))
 
     def atoms(self) -> frozenset[Atom]:
         return frozenset({self})
@@ -225,7 +331,11 @@ class ArrayTerm(Atom):
         return ArrayTerm(self.array, new_index)
 
     def _key(self) -> tuple:
-        return (2, self.array, self.index._key())
+        k = self._key_cache
+        if k is None:
+            k = (2, self.array, self.index._key())
+            object.__setattr__(self, "_key_cache", k)
+        return k
 
     def __str__(self) -> str:
         return f"{self.array}[{self.index}]"
@@ -241,12 +351,32 @@ class OpaqueOp(Enum):
     MAX = "max"
 
 
-@dataclass(frozen=True, slots=True)
+_opaque_intern: dict[tuple[OpaqueOp, tuple[Expr, ...]], "OpaqueTerm"] = {}
+
+
 class OpaqueTerm(Atom):
     """An interpreted but non-linear operator, treated as an atom."""
 
+    __slots__ = ("op", "args", "_key_cache")
+
     op: OpaqueOp
     args: tuple[Expr, ...]
+
+    def __new__(cls, op: OpaqueOp, args: Iterable[Expr]) -> "OpaqueTerm":
+        if type(args) is not tuple:
+            args = tuple(args)
+        key = (op, args)
+        self = _opaque_intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "op", op)
+            object.__setattr__(self, "args", args)
+            object.__setattr__(self, "_key_cache", None)
+            _opaque_intern[key] = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (OpaqueTerm, (self.op, self.args))
 
     def atoms(self) -> frozenset[Atom]:
         return frozenset({self})
@@ -267,7 +397,11 @@ class OpaqueTerm(Atom):
         return _rebuild_opaque(self.op, new_args)
 
     def _key(self) -> tuple:
-        return (3, self.op.value, tuple(a._key() for a in self.args))
+        k = self._key_cache
+        if k is None:
+            k = (3, self.op.value, tuple(a._key() for a in self.args))
+            object.__setattr__(self, "_key_cache", k)
+        return k
 
     def __str__(self) -> str:
         if self.op is OpaqueOp.FLOORDIV:
@@ -288,8 +422,11 @@ class BottomExpr(Expr):
 
     def __new__(cls) -> "BottomExpr":
         if cls._instance is None:
-            cls._instance = super().__new__(cls)
+            cls._instance = object.__new__(cls)
         return cls._instance
+
+    def __reduce__(self) -> tuple:
+        return (BottomExpr, ())
 
     def _key(self) -> tuple:
         return (9,)
@@ -300,18 +437,29 @@ class BottomExpr(Expr):
     def __repr__(self) -> str:
         return "BOTTOM"
 
-    def __hash__(self) -> int:
-        return hash("⊥-bottom")
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, BottomExpr)
-
-
-@dataclass(frozen=True, slots=True)
 class InfExpr(Expr):
     """±∞, used only as a range endpoint."""
 
+    __slots__ = ("positive",)
+    _pos: "InfExpr | None" = None
+    _neg: "InfExpr | None" = None
+
     positive: bool
+
+    def __new__(cls, positive: bool) -> "InfExpr":
+        self = cls._pos if positive else cls._neg
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "positive", bool(positive))
+            if positive:
+                cls._pos = self
+            else:
+                cls._neg = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (InfExpr, (self.positive,))
 
     def _key(self) -> tuple:
         return (8, self.positive)
@@ -331,7 +479,9 @@ NEG_INF = InfExpr(False)
 Monomial = tuple[Atom, ...]
 
 
-@dataclass(frozen=True, slots=True)
+_sum_intern: dict[tuple, "Sum"] = {}
+
+
 class Sum(Expr):
     """Canonical linear combination: ``const + Σ coeff_i * monomial_i``.
 
@@ -340,8 +490,35 @@ class Sum(Expr):
     by monomial key, monomials non-empty and internally sorted.
     """
 
+    __slots__ = ("const", "terms", "_key_cache")
+
     const: Fraction
     terms: tuple[tuple[Fraction, Monomial], ...]
+
+    def __new__(
+        cls, const: Number, terms: tuple[tuple[Fraction, Monomial], ...]
+    ) -> "Sum":
+        if type(const) is not Fraction:
+            const = Fraction(const)
+        # Key on (numerator, denominator) int pairs rather than the
+        # Fractions themselves: Fraction.__hash__ computes a modular
+        # inverse per call, which dominated this lookup.
+        key = (
+            const.numerator,
+            const.denominator,
+            tuple((c.numerator, c.denominator, m) for c, m in terms),
+        )
+        self = _sum_intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            object.__setattr__(self, "const", const)
+            object.__setattr__(self, "terms", terms)
+            object.__setattr__(self, "_key_cache", None)
+            _sum_intern[key] = self
+        return self
+
+    def __reduce__(self) -> tuple:
+        return (Sum, (self.const, self.terms))
 
     def atoms(self) -> frozenset[Atom]:
         out: set[Atom] = set()
@@ -365,7 +542,15 @@ class Sum(Expr):
         return add(*parts)
 
     def _key(self) -> tuple:
-        return (5, float(self.const), tuple((float(c), tuple(a._key() for a in m)) for c, m in self.terms))
+        k = self._key_cache
+        if k is None:
+            k = (
+                5,
+                float(self.const),
+                tuple((float(c), tuple(a._key() for a in m)) for c, m in self.terms),
+            )
+            object.__setattr__(self, "_key_cache", k)
+        return k
 
     def __str__(self) -> str:
         chunks: list[str] = []
@@ -418,32 +603,75 @@ _memo_mul: dict[tuple, Expr] = {}
 _memo_minmax: dict[tuple, Expr] = {}
 _memo_stats = {"hits": 0, "misses": 0}
 
+# Registry of every memo table in the symbolic layer: name -> (entries,
+# clear).  Modules that own a memo table (this one, ``ranges``,
+# ``compare``) register it at import time, so :func:`clear_memo_tables`
+# and :func:`memo_stats` cover all of them — a "cold" benchmark run is
+# genuinely cold.  Intern tables are deliberately NOT registered: they
+# define object identity and must never be cleared (see the note above
+# the node classes).
+_MEMO_REGISTRY: dict[str, tuple[Callable[[], int], Callable[[], None]]] = {}
+
+
+def register_memo_table(
+    name: str, entries: Callable[[], int], clear: Callable[[], None]
+) -> None:
+    """Register a memo table with the symbolic-layer registry.
+
+    ``entries`` reports the current number of cached entries; ``clear``
+    drops them all.  Clearing must always be safe (memo tables cache
+    derived results only)."""
+    _MEMO_REGISTRY[name] = (entries, clear)
+
+
+register_memo_table("expr.add", _memo_add.__len__, _memo_add.clear)
+register_memo_table("expr.mul", _memo_mul.__len__, _memo_mul.clear)
+register_memo_table("expr.minmax", _memo_minmax.__len__, _memo_minmax.clear)
+
+
+def _import_memo_owners() -> None:
+    # Modules register their tables on import; force them in so the
+    # registry is complete even if the caller only imported ``expr``.
+    from repro.analysis import framework  # noqa: F401
+    from repro.symbolic import compare, ranges  # noqa: F401
+
 
 def clear_memo_tables() -> None:
-    """Drop every symbolic memo table (constructors here plus the
-    range-substitution memo in :mod:`repro.symbolic.ranges`) and reset
-    the counters — lets benchmarks measure genuinely cold runs."""
-    from repro.symbolic import ranges
-
-    _memo_add.clear()
-    _memo_mul.clear()
-    _memo_minmax.clear()
-    ranges._subst_memo.clear()
+    """Drop every registered memo table (constructor memos here, the
+    range-substitution memo in :mod:`repro.symbolic.ranges`, the prover
+    memos in :mod:`repro.symbolic.compare`) and reset the counters —
+    lets benchmarks measure genuinely cold runs.  Intern tables are left
+    alone: dropping them would break the identity-as-equality invariant
+    for live expressions."""
+    _import_memo_owners()
+    for _, clear in _MEMO_REGISTRY.values():
+        clear()
     _memo_stats["hits"] = 0
     _memo_stats["misses"] = 0
 
 
-def memo_stats() -> dict[str, int]:
-    """Hit/miss counters plus current table sizes (all memo tables)."""
-    from repro.symbolic import ranges
-
+def memo_stats() -> dict:
+    """Hit/miss counters plus current sizes of every registered memo
+    table (``tables`` maps registry name to entry count)."""
+    _import_memo_owners()
+    tables = {name: entries() for name, (entries, _) in _MEMO_REGISTRY.items()}
     return {
         "hits": _memo_stats["hits"],
         "misses": _memo_stats["misses"],
-        "entries": len(_memo_add)
-        + len(_memo_mul)
-        + len(_memo_minmax)
-        + len(ranges._subst_memo),
+        "entries": sum(tables.values()),
+        "tables": tables,
+    }
+
+
+def intern_stats() -> dict[str, int]:
+    """Sizes of the hash-cons intern tables (diagnostics only — these
+    are not memo tables and are never cleared)."""
+    return {
+        "const": len(_const_intern) + len(_const_int_intern),
+        "sym": len(_sym_intern),
+        "array_term": len(_array_intern),
+        "opaque_term": len(_opaque_intern),
+        "sum": len(_sum_intern),
     }
 
 
@@ -457,6 +685,11 @@ def _memo_get(table: dict[tuple, Expr], key: tuple) -> Expr | None:
 
 
 def _memo_put(table: dict[tuple, Expr], key: tuple, value: Expr) -> Expr:
+    # Wholesale clearing at the limit is safe under hash-consing: a memo
+    # table only caches *which* interned node a constructor returns, so
+    # dropping entries merely forces recomputation, which re-interns to
+    # the identical object.  The intern tables themselves are unbounded
+    # and never cleared.
     if len(table) >= _MEMO_LIMIT:
         table.clear()
     table[key] = value
@@ -468,17 +701,23 @@ def _memo_put(table: dict[tuple, Expr], key: tuple, value: Expr) -> Expr:
 # --------------------------------------------------------------------------
 
 
+#: Shared Fraction constants: ``Fraction(0)``/``Fraction(1)`` construction
+#: is surprisingly hot in the canonicalizers below.
+_F0 = Fraction(0)
+_F1 = Fraction(1)
+
+
 def _coerce(x: ExprLike) -> Expr:
     if isinstance(x, Expr):
         return x
     if isinstance(x, (int, Fraction)):
-        return Const(Fraction(x))
+        return Const(x)
     raise SymbolicError(f"cannot coerce {x!r} to Expr")
 
 
 def const(v: Number) -> Const:
     """Integer/rational constant expression."""
-    return Const(Fraction(v))
+    return Const(v)
 
 
 ZERO = const(0)
@@ -528,16 +767,21 @@ def _accumulate(
 ) -> Fraction:
     """Fold ``scale * e`` into the monomial accumulator; returns the
     constant contribution."""
+    one = scale is _F1  # the add() path — skip the scale multiplies
     if isinstance(e, Const):
-        return scale * e.value
+        return e.value if one else scale * e.value
     if isinstance(e, Sum):
+        if one:
+            for coeff, mono in e.terms:
+                acc[mono] = acc.get(mono, _F0) + coeff
+            return e.const
         for coeff, mono in e.terms:
-            acc[mono] = acc.get(mono, Fraction(0)) + scale * coeff
+            acc[mono] = acc.get(mono, _F0) + scale * coeff
         return scale * e.const
     if isinstance(e, Atom):
         mono: Monomial = (e,)
-        acc[mono] = acc.get(mono, Fraction(0)) + scale
-        return Fraction(0)
+        acc[mono] = acc.get(mono, _F0) + scale
+        return _F0
     raise SymbolicError(f"non-canonical expression in add: {e!r}")
 
 
@@ -574,9 +818,11 @@ def add(*xs: ExprLike) -> Expr:
             return NEG_INF
         raise SymbolicError("adding opposite infinities")
     acc: dict[Monomial, Fraction] = {}
-    constant = Fraction(0)
+    constant = _F0
     for e in es:
-        constant += _accumulate(acc, e, Fraction(1))
+        c = _accumulate(acc, e, _F1)
+        if c is not _F0:
+            constant = c if constant is _F0 else constant + c
     return _memo_put(_memo_add, xs, _make_sum(acc, constant))
 
 
@@ -612,13 +858,13 @@ def _mul_two(a: Expr, b: Expr) -> Expr:
     a_terms = _as_terms(a)
     b_terms = _as_terms(b)
     acc = {}
-    constant = Fraction(0)
+    constant = _F0
     for ca, ma in a_terms:
         for cb, mb in b_terms:
             coeff = ca * cb
             mono = tuple(sorted(ma + mb, key=lambda at: at._key()))
             if mono:
-                acc[mono] = acc.get(mono, Fraction(0)) + coeff
+                acc[mono] = acc.get(mono, _F0) + coeff
             else:
                 constant += coeff
     return _make_sum(acc, constant)
@@ -629,7 +875,7 @@ def _as_terms(e: Expr) -> list[tuple[Fraction, Monomial]]:
     if isinstance(e, Const):
         return [(e.value, ())]
     if isinstance(e, Atom):
-        return [(Fraction(1), (e,))]
+        return [(_F1, (e,))]
     if isinstance(e, Sum):
         out = list(e.terms)
         if e.const != 0:

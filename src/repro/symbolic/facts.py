@@ -42,7 +42,7 @@ class MonoDir(Enum):
         return self in (MonoDir.STRICT_INC, MonoDir.STRICT_DEC)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompositeMonoFact:
     """Monotonicity of a *combination* of arrays (the paper's "monotonic
     difference between arrays", Section 2 item 2c).
@@ -61,7 +61,7 @@ class CompositeMonoFact:
         return add(*[mul(c, array_term(a, add(j, o))) for c, a, o in self.terms])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrayFact:
     """Facts about one array, as consumed by the prover.
 
@@ -84,7 +84,7 @@ class ArrayFact:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class FactEnv:
     """Mutable collection of prover facts.
 

@@ -26,6 +26,7 @@ from repro.symbolic.expr import (
     POS_INF,
     SubstFn,
     _coerce,
+    register_memo_table as _register_memo_table,
     add,
     const,
     mul,
@@ -42,6 +43,13 @@ class SymRange:
 
     lo: Expr
     hi: Expr
+
+    # Deeply immutable (endpoints are interned exprs) — copying is identity.
+    def __copy__(self) -> "SymRange":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "SymRange":
+        return self
 
     # -- constructors -------------------------------------------------------
     @staticmethod
@@ -197,6 +205,13 @@ class MultiSection:
 
     dims: tuple[SymRange, ...]
 
+    # Deeply immutable — copying is identity.
+    def __copy__(self) -> "MultiSection":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "MultiSection":
+        return self
+
     # -- constructors -------------------------------------------------------
     @staticmethod
     def of(*dims: "SymRange | ExprLike") -> "MultiSection":
@@ -293,8 +308,10 @@ def _as_range(x: "SymRange | ExprLike") -> SymRange:
 #: so keying on ``(e, side, mapping-items)`` is exact.  Bookkeeping
 #: (bounded size, hit/miss stats) is shared with the constructor memos
 #: in :mod:`repro.symbolic.expr`; ``expr.clear_memo_tables`` clears this
-#: table too.
+#: table too (via the registry in :mod:`repro.symbolic.expr`).
 _subst_memo: dict[tuple, Expr] = {}
+
+_register_memo_table("ranges.subst", _subst_memo.__len__, _subst_memo.clear)
 
 
 def range_subst(e: Expr, mapping: Mapping, side: str) -> Expr:

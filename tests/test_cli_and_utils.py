@@ -84,6 +84,57 @@ class TestCli:
         assert "x " in out or "x|" in out.replace(" ", "")
         assert "x-2" in out
 
+    def test_bench_analysis_json_and_check(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_analysis.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--analysis",
+                    "--repeats",
+                    "1",
+                    "--quiet",
+                    "--json",
+                    str(out_path),
+                    "--check",
+                    # generous: this gate trips on order-of-magnitude
+                    # regressions, not on a loaded CI runner
+                    "--max-sweep-seconds",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        assert doc["summary"]["verdicts_ok"]
+        assert doc["corpus_sweep"]["kernels"] == len(doc["per_kernel"])
+        assert doc["corpus_sweep"]["seconds_median"] > 0
+        assert 0.0 <= doc["memo"]["hit_rate"] <= 1.0
+        assert doc["baseline"]["corpus_sweep_seconds_median"] > 0
+        assert set(doc["memo"]["tables"]) == {
+            "expr.add",
+            "expr.mul",
+            "expr.minmax",
+            "ranges.subst",
+            "compare.prover",
+            "framework.nest",
+        }
+
+    def test_bench_analysis_check_catches_regression(self):
+        from repro.analysis.bench import check_regression
+
+        doc = {
+            "corpus_sweep": {"seconds_median": 2.0},
+            "summary": {"verdicts_ok": True},
+        }
+        assert check_regression(doc, max_sweep_seconds=1.0)
+        doc["corpus_sweep"]["seconds_median"] = 0.5
+        assert check_regression(doc, max_sweep_seconds=1.0) == []
+        doc["summary"]["verdicts_ok"] = False
+        assert check_regression(doc, max_sweep_seconds=1.0)
+
 
 class TestTables:
     def test_alignment(self):

@@ -159,6 +159,72 @@ class TestResultCache:
         assert c.get("k1") == {"v": 1}  # re-served from disk
 
 
+class TestCacheFailureAccounting:
+    """Disk-tier failures must be counted and surfaced, never silent."""
+
+    @staticmethod
+    def _deny_writes(monkeypatch):
+        # chmod cannot make a directory unwritable for root (CI runs as
+        # root), so simulate the EACCES at the write call itself
+        from pathlib import Path
+
+        def deny(self, *args, **kwargs):
+            raise PermissionError(13, "Permission denied", str(self))
+
+        monkeypatch.setattr(Path, "write_text", deny)
+
+    def test_unwritable_dir_counts_write_errors(self, tmp_path, monkeypatch):
+        c = ResultCache(cache_dir=tmp_path)
+        self._deny_writes(monkeypatch)
+        c.put("feedface", {"v": 1})
+        c.put("deadbeef", {"v": 2})
+        assert c.stats.write_errors == 2
+        assert c.stats.stores == 2  # the batch itself still succeeded
+        assert c.get("feedface") == {"v": 1}  # memory tier unaffected
+        assert c.stats.to_dict()["write_errors"] == 2
+
+    def test_unwritable_dir_warning_in_batch_summary(self, tmp_path, monkeypatch):
+        cache = ResultCache(cache_dir=tmp_path)
+        reqs = _subset_requests(2)
+        self._deny_writes(monkeypatch)
+        report = BatchEngine(cache=cache).run(reqs)
+        assert cache.stats.write_errors == 2
+        rendered = report.render()
+        assert "cache write failure" in rendered
+        assert "unwritable or full" in rendered
+
+    def test_truncated_entry_counts_corrupt(self, tmp_path):
+        c1 = ResultCache(cache_dir=tmp_path)
+        c1.put("cafebabe", {"verdict": "ok"})
+        path = tmp_path / "cafebabe.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        c2 = ResultCache(cache_dir=tmp_path)  # fresh memory tier
+        assert c2.get("cafebabe") is None
+        assert c2.stats.corrupt_entries == 1
+        assert not path.exists()  # dropped, will be recomputed
+
+    def test_non_dict_entry_counts_corrupt(self, tmp_path):
+        (tmp_path / "abad1dea.json").write_text("[1, 2, 3]")
+        c = ResultCache(cache_dir=tmp_path)
+        assert c.get("abad1dea") is None
+        assert c.stats.corrupt_entries == 1
+        assert not (tmp_path / "abad1dea.json").exists()
+
+    def test_corrupt_entry_warning_in_batch_summary(self, tmp_path):
+        reqs = _subset_requests(2)
+        BatchEngine(cache=ResultCache(cache_dir=tmp_path)).run(reqs)
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{truncated")
+        cache = ResultCache(cache_dir=tmp_path)
+        report = BatchEngine(cache=cache).run(reqs)
+        assert cache.stats.corrupt_entries == 2
+        rendered = report.render()
+        assert "corrupt cache entr" in rendered
+        assert "bitrot" in rendered
+        # the entries were recomputed, not served
+        assert all(not v.from_cache for v in report.verdicts)
+
+
 class TestReportDeterminism:
     def test_cold_warm_parallel_byte_identical(self, tmp_path):
         reqs = corpus_requests()
