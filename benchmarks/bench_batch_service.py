@@ -93,14 +93,16 @@ def test_parallel_workers_scale_on_large_corpus(benchmark):
     assert par.canonical_json() == seq.canonical_json()
     # pool startup must be amortized at this corpus size: parallel cold
     # analysis may not *lose* to sequential cold analysis.  On a
-    # single-CPU host no speedup is physically possible, so the timing
-    # check only applies where the hardware can show one.
+    # single-CPU host no speedup is physically possible, so skip the
+    # timing assertion explicitly (after the byte-identity check above,
+    # which holds everywhere) instead of flaking.
     cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
-    if cpus and cpus > 1:
-        assert par_seconds < seq_seconds * 1.10, (
-            f"jobs=4 ({par_seconds * 1e3:.1f} ms) slower than jobs=1 "
-            f"({seq_seconds * 1e3:.1f} ms) on {cpus} CPUs"
+    if not cpus or cpus < 2:
+        pytest.skip(
+            f"single-CPU host ({cpus} usable core): parallel speedup is not "
+            f"physically possible; observed ratio {seq_seconds / par_seconds:.2f}x"
         )
-    else:
-        print(f"(single-CPU host: parallel speedup not asserted, ratio "
-              f"{seq_seconds / par_seconds:.2f}x)")
+    assert par_seconds < seq_seconds * 1.10, (
+        f"jobs=4 ({par_seconds * 1e3:.1f} ms) slower than jobs=1 "
+        f"({seq_seconds * 1e3:.1f} ms) on {cpus} CPUs"
+    )

@@ -32,7 +32,7 @@ from repro.analysis.env import PropertyEnv
 from repro.analysis.phase1 import IterationEffect
 from repro.analysis.phase2 import LoopSummary
 from repro.analysis.provenance import ProvenanceLog
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ReproError
 from repro.ir.nodes import IRFunction
 
 #: Known analysis engines; ``passes`` is the production default.
@@ -62,6 +62,10 @@ class AnalysisResult:
     engine: str = "passes"
     pipeline: str = ""  # pass-pipeline identity (empty on legacy)
     provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
+    #: Set when this result came from a degradation-ladder fallback:
+    #: ``{"kind": "analysis:legacy", "detail": "..."}``.  Surfaced in
+    #: batch payloads (and their health sections) and by ``repro explain``.
+    fallback: "dict | None" = None
 
     def summary(self, label: str) -> LoopSummary:
         return self.summaries[label]
@@ -88,6 +92,14 @@ def analyze_function(
 
     ``engine`` selects the analysis engine (``"passes"`` | ``"legacy"``;
     ``None`` honours ``$REPRO_ANALYSIS`` and defaults to ``"passes"``).
+
+    Degradation ladder: an *internal* failure of the passes engine (any
+    exception that is not a :class:`~repro.errors.ReproError`) falls back
+    to the frozen legacy walker — the equivalence baseline — instead of
+    taking the caller down.  The returned result carries a ``fallback``
+    record so the degradation is provenance-visible everywhere (batch
+    health sections, ``repro explain``).  Set ``REPRO_FALLBACKS=0`` to
+    turn the ladder off and let the original exception propagate.
     """
     chosen = engine if engine is not None else default_analysis_engine()
     if chosen == "legacy":
@@ -97,8 +109,23 @@ def analyze_function(
     if chosen == "passes":
         from repro.analysis.domains import default_domains
         from repro.analysis.framework import PassManager
+        from repro.analysis.legacy import analyze_legacy
+        from repro.service import faults
 
-        return PassManager(default_domains()).run(func, initial_env)
+        try:
+            faults.maybe_fail("analysis.passes", func.name)
+            return PassManager(default_domains()).run(func, initial_env)
+        except ReproError:
+            raise  # a verdict about the kernel, not an engine bug
+        except Exception as exc:  # noqa: BLE001 — engine bug: degrade, don't die
+            if not faults.fallbacks_enabled():
+                raise
+            result = analyze_legacy(func, initial_env)
+            result.fallback = {
+                "kind": "analysis:legacy",
+                "detail": f"{func.name}: {type(exc).__name__}: {exc}",
+            }
+            return result
     raise AnalysisError(
         f"unknown analysis engine {chosen!r}; pick from {', '.join(ANALYSIS_ENGINES)}"
     )

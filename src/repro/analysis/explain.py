@@ -28,6 +28,12 @@ def explain_loop(out, label: str) -> str:  # noqa: ANN001 — ParallelizeOutput
     ]
     if plan.pragma:
         lines.append(f"  #pragma {plan.pragma}")
+    fb = getattr(out.analysis, "fallback", None)
+    if fb:
+        lines.append(
+            f"  DEGRADED: {fb.get('kind', 'fallback')} fallback taken — "
+            f"{fb.get('detail', '')}"
+        )
     if plan.dependence is not None and plan.dependence.pairs:
         lines.append("")
         lines.append(f"dependence test ({plan.dependence.method}):")

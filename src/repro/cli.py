@@ -5,7 +5,8 @@ Usage::
     python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
     python -m repro analyze FILE.c [--vars a,b,c]
     python -m repro explain LOOP (FILE.c | --kernel NAME) [--method extended]
-    python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH] [--validate]
+    python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH]
+                          [--validate] [--timeout S] [--max-failures N] [--faults PLAN]
     python -m repro bench [--json PATH] [--size N] [--check]
     python -m repro bench --analysis [--json PATH] [--check]
     python -m repro figure1
@@ -129,8 +130,49 @@ def cmd_batch(args: argparse.Namespace) -> int:
         seen.add(label)
         requests += file_requests
     cache = ResultCache(cache_dir=args.cache_dir)
-    engine = BatchEngine(method=args.method, jobs=args.jobs, cache=cache)
-    report = engine.run(requests)
+    engine = BatchEngine(
+        method=args.method,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        max_failures=args.max_failures,
+    )
+    prev_plan = None
+    if args.faults:
+        from repro.service import faults
+
+        try:
+            prev_plan = faults.install(args.faults)
+        except ValueError as exc:
+            print(f"error: --faults: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = engine.run(requests)
+        status = 1 if any(not v.ok for v in report.verdicts) else 0
+        if args.validate:
+            from repro.service import validate_parallel_verdicts
+
+            problems = validate_parallel_verdicts(report, engine=args.engine)
+            if problems:
+                for name, msgs in sorted(problems.items()):
+                    for msg in msgs:
+                        print(f"SOUNDNESS VIOLATION [{name}]: {msg}")
+                status = 1
+            elif not args.quiet:
+                checked = sum(
+                    1 for v in report.verdicts if v.ok and v.parallel_loops
+                )
+                downgraded = len(report.health.get("oracle_downgrades", ()))
+                note = f" ({downgraded} downgraded to unknown)" if downgraded else ""
+                print(
+                    "oracle validation: "
+                    f"{checked} parallel verdicts spot-checked, all hold{note}"
+                )
+    finally:
+        if args.faults:
+            from repro.service import faults
+
+            faults.install(prev_plan)
     if not args.quiet:
         print(report.render())
     if args.json == "-":
@@ -139,21 +181,6 @@ def cmd_batch(args: argparse.Namespace) -> int:
         Path(args.json).write_text(report.to_json() + "\n")
         if not args.quiet:
             print(f"wrote {args.json}")
-    status = 1 if any(not v.ok for v in report.verdicts) else 0
-    if args.validate:
-        from repro.service import validate_parallel_verdicts
-
-        problems = validate_parallel_verdicts(report, engine=args.engine)
-        if problems:
-            for name, msgs in sorted(problems.items()):
-                for msg in msgs:
-                    print(f"SOUNDNESS VIOLATION [{name}]: {msg}")
-            status = 1
-        elif not args.quiet:
-            checked = sum(
-                1 for v in report.verdicts if v.ok and v.parallel_loops
-            )
-            print(f"oracle validation: {checked} parallel verdicts spot-checked, all hold")
     return status
 
 
@@ -283,6 +310,26 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument("--method", default="extended", choices=["gcd", "banerjee", "range", "extended"])
     b.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     b.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    b.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-kernel wall-clock budget (default: unlimited)",
+    )
+    b.add_argument(
+        "--max-failures",
+        type=int,
+        default=2,
+        help="infrastructure failures before a kernel is quarantined (default 2)",
+    )
+    b.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject faults for this run: 'site[:glob[:times]]; ...' "
+        "(see repro.service.faults.SITES; also via $REPRO_FAULTS)",
+    )
     b.add_argument("--json", default=None, metavar="PATH", help="write the JSON report to PATH ('-' for stdout)")
     b.add_argument("--quiet", action="store_true", help="suppress the summary table")
     b.add_argument(

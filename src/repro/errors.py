@@ -48,3 +48,22 @@ class InterpreterError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload/input generators on invalid parameters."""
+
+
+class InfrastructureError(ReproError):
+    """Base class for *environmental* failures (timeouts, dead workers,
+    transient I/O).  Unlike the analysis errors above these say nothing
+    about the kernel being analyzed, so they are retried/quarantined by
+    the batch engine and must never be cached as verdicts."""
+
+
+class KernelTimeoutError(InfrastructureError):
+    """A per-kernel wall-clock budget was exceeded (watchdog fired)."""
+
+
+class WorkerCrashError(InfrastructureError):
+    """A worker process died mid-task (e.g. BrokenProcessPool)."""
+
+
+class TransientWorkerError(InfrastructureError):
+    """A retryable failure (flaky I/O, injected transient fault)."""

@@ -58,14 +58,39 @@ def execute(
 ) -> dict[str, Any]:
     """Run ``func`` over ``env`` (arrays modified in place) on the
     selected engine.  Results are engine-independent by construction —
-    the equivalence suite pins this."""
+    the equivalence suite pins this.
+
+    Degradation ladder: an *internal* failure of the compiled engine
+    (any exception that is not a :class:`~repro.errors.ReproError`)
+    rolls the environment back and re-runs on the reference interpreter,
+    recording an ``engine:interp`` fallback note (drained into batch
+    health sections).  ``REPRO_FALLBACKS=0`` turns the ladder off."""
+    from repro.runtime.interpreter import run_function
+
     if resolve_engine(engine) == "interp":
-        from repro.runtime.interpreter import run_function
-
         return run_function(func, env, max_steps=max_steps)
-    from repro.runtime.compiler import run_compiled
+    import numpy as np
 
-    return run_compiled(func, env, max_steps=max_steps)
+    from repro.errors import ReproError
+    from repro.runtime.compiler import run_compiled
+    from repro.service import faults
+
+    # snapshot so a mid-run compiled failure can roll the arrays back
+    # before the interpreter re-executes from the same initial state
+    snapshot = {k: v.copy() for k, v in env.items() if isinstance(v, np.ndarray)}
+    try:
+        faults.maybe_fail("engine.compiled", func.name)
+        return run_compiled(func, env, max_steps=max_steps)
+    except ReproError:
+        raise  # a verdict about the program, not an engine bug
+    except Exception as exc:  # noqa: BLE001 — engine bug: degrade, don't die
+        if not faults.fallbacks_enabled():
+            raise
+        faults.note_fallback(
+            "engine:interp", f"{func.name}: {type(exc).__name__}: {exc}"
+        )
+        env.update(snapshot)
+        return run_function(func, env, max_steps=max_steps)
 
 
 __all__ = ["DEFAULT_ENGINE", "ENGINES", "default_engine", "execute", "resolve_engine"]

@@ -91,10 +91,32 @@ def check_loop_independence(
     """Run ``func`` on ``env`` and report cross-iteration conflicts of the
     loop labeled ``loop_label``.  ``env`` is modified in place (pass a
     fresh copy if you need the inputs afterwards).  ``engine`` selects
-    the execution backend (default: :func:`repro.runtime.engines.default_engine`)."""
-    if resolve_engine(engine) == "compiled":
+    the execution backend (default: :func:`repro.runtime.engines.default_engine`).
+
+    Degradation ladder: an internal (non-:class:`~repro.errors.ReproError`)
+    failure of the compiled trace path rolls the environment back and
+    re-checks on the reference interpreter, recording an
+    ``oracle:interp`` fallback note.  ``REPRO_FALLBACKS=0`` disables it."""
+    if resolve_engine(engine) != "compiled":
+        return _check_interp(func, env, loop_label, max_conflicts, max_steps)
+
+    from repro.errors import ReproError
+    from repro.service import faults
+
+    snapshot = {k: v.copy() for k, v in env.items() if isinstance(v, np.ndarray)}
+    try:
+        faults.maybe_fail("engine.compiled", f"oracle:{func.name}")
         return _check_compiled(func, env, loop_label, max_conflicts, max_steps)
-    return _check_interp(func, env, loop_label, max_conflicts, max_steps)
+    except ReproError:
+        raise  # step budgets / bad program state are genuine verdicts
+    except Exception as exc:  # noqa: BLE001 — engine bug: degrade, don't die
+        if not faults.fallbacks_enabled():
+            raise
+        faults.note_fallback(
+            "oracle:interp", f"{func.name}:{loop_label}: {type(exc).__name__}: {exc}"
+        )
+        env.update(snapshot)
+        return _check_interp(func, env, loop_label, max_conflicts, max_steps)
 
 
 # --------------------------------------------------------------------------

@@ -33,8 +33,22 @@ canonical-IR-text)``, where the canonical IR text is the printed form of
 the freshly built (un-annotated) IR.  Reformatting a source therefore
 hits the cache; any semantic change, a different dependence method,
 different assertions, or an analyzer upgrade misses it.  Storage is an
-in-memory LRU plus an optional on-disk JSON store (one atomic file per
-key) shareable between processes and sessions.
+in-memory LRU plus an optional on-disk JSON store (one atomic,
+schema-versioned file per key) shareable between processes and sessions.
+
+Fault tolerance
+---------------
+
+Batches degrade **per kernel, never per batch**: per-kernel wall-clock
+budgets (``BatchEngine(timeout=...)``) with an in-worker SIGALRM alarm
+and a parent watchdog, retry-with-backoff for transient failures,
+automatic pool respawn + requeue when a worker process dies, and
+quarantine (a structured ``timeout``/``failed`` record) after
+``max_failures`` infrastructure failures.  Every event lands in the
+report's ``health`` section.  :mod:`repro.service.faults` is the seeded,
+deterministic fault-injection harness (``REPRO_FAULTS`` env or
+``faults.injected(...)``) that the chaos suite uses to prove all of the
+above, plus the degradation-ladder plumbing (``REPRO_FALLBACKS``).
 
 Command line
 ------------
@@ -53,6 +67,7 @@ oracle (:func:`validate_parallel_verdicts`, compiled runtime engine by
 default) and fails the command on any soundness violation.
 """
 
+from repro.service import faults
 from repro.service.cache import CacheStats, ResultCache, analyzer_version, cache_key
 from repro.service.engine import (
     AnalysisRequest,
@@ -74,6 +89,7 @@ __all__ = [
     "analyzer_version",
     "cache_key",
     "corpus_requests",
+    "faults",
     "requests_from_source",
     "validate_parallel_verdicts",
 ]

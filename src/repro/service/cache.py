@@ -22,9 +22,15 @@ verdict:
   like the pass framework lands safely on a warm cache directory.
 
 Storage is two-level: a bounded in-memory LRU (always on) and an
-optional on-disk JSON store (one ``<key>.json`` file per entry, written
-atomically so concurrent workers can share a directory).  Corrupted or
-unreadable disk entries are treated as misses and removed.
+optional on-disk JSON store (one ``<key>.json`` file per entry).  Disk
+entries are crash-safe: each is serialized into an *envelope*
+``{"schema": CACHE_SCHEMA, "payload": ...}``, written to a temp file,
+fsynced, and atomically renamed into place, so concurrent workers can
+share a directory and a crash mid-write can never leave a half-entry
+under a live key.  On read, corrupted or unreadable entries count as
+``corrupt_entries`` misses and are removed; well-formed entries whose
+schema header does not match count as ``schema_mismatches`` misses (an
+old-layout cache directory quietly rebuilds itself).
 """
 
 from __future__ import annotations
@@ -37,10 +43,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
+from repro.service import faults
 
-#: Schema of the verdict payload layout (kept for report readers; the
+#: Schema of the on-disk entry envelope + verdict payload layout (the
 #: analysis semantics themselves are covered by the tree digest).
-CACHE_SCHEMA = 2
+#: Bumped to 3 when entries gained the schema-header envelope.
+CACHE_SCHEMA = 3
 
 #: Package subtrees whose sources determine analysis verdicts.  The
 #: runtime engines, benchmarks and evaluation tables are deliberately
@@ -141,6 +149,10 @@ class CacheStats:
     #: Disk entries dropped because they were unreadable or not valid
     #: JSON — lets fleet-shared cache directories detect bitrot.
     corrupt_entries: int = 0
+    #: Well-formed disk entries dropped because their schema header did
+    #: not match :data:`CACHE_SCHEMA` (e.g. a cache dir written by an
+    #: older layout) — recomputed, not an error.
+    schema_mismatches: int = 0
 
     @property
     def hits(self) -> int:
@@ -154,6 +166,7 @@ class CacheStats:
             "stores": self.stores,
             "write_errors": self.write_errors,
             "corrupt_entries": self.corrupt_entries,
+            "schema_mismatches": self.schema_mismatches,
         }
 
 
@@ -215,33 +228,50 @@ class ResultCache:
             return None
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            doc = json.loads(path.read_text())
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             # corrupted entry: drop it, count it, and recompute
             self.stats.corrupt_entries += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._drop(path)
             return None
-        if not isinstance(payload, dict):
+        if not isinstance(doc, dict):
             self.stats.corrupt_entries += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._drop(path)
             return None
-        return payload
+        if doc.get("schema") != CACHE_SCHEMA or not isinstance(doc.get("payload"), dict):
+            # a well-formed entry from another layout: rebuild, don't alarm
+            self.stats.schema_mismatches += 1
+            self._drop(path)
+            return None
+        return doc["payload"]
+
+    @staticmethod
+    def _drop(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def _disk_put(self, key: str, payload: dict) -> None:
         if self.cache_dir is None:
             return
         path = self._path(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        serialized = json.dumps(
+            {"schema": CACHE_SCHEMA, "payload": payload}, sort_keys=True, indent=1
+        )
+        if faults.fires("cache.corrupt", key):
+            serialized = serialized[: len(serialized) // 2]
         try:
-            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            faults.maybe_fail("cache.write", key)
+            tmp.write_text(serialized)
+            fd = os.open(tmp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
             tmp.replace(path)
         except OSError:
             # A read-only or full cache dir must not fail the batch, but

@@ -1,5 +1,6 @@
 """Batch analysis engine: frontend → analysis → dependence → plan over a
-whole corpus of kernels, with caching and parallel workers.
+whole corpus of kernels, with caching, parallel workers, and per-kernel
+fault tolerance.
 
 Design
 ------
@@ -23,17 +24,60 @@ Design
   payload and reported separately.
 * A request whose frontend or analysis raises a
   :class:`~repro.errors.ReproError` yields an *error payload* instead of
-  aborting the batch; genuine programming errors still propagate.
+  aborting the batch; these are deterministic verdicts and are cached.
+
+Fault tolerance (the resilience layer)
+--------------------------------------
+
+Batches degrade **per kernel, never per batch**:
+
+* Every miss runs under a guard (:func:`_worker_run`) that converts any
+  infrastructure failure — a wall-clock timeout (``timeout=`` seconds,
+  enforced in-worker via SIGALRM), a transient error, an unexpected
+  exception — into a structured *failure payload* instead of an escaped
+  exception.
+* The scheduler retries ``timeout`` / ``transient`` / ``worker-crash``
+  failures (with a small backoff) until a kernel accumulates
+  ``max_failures`` of them; then it is **quarantined** with a structured
+  ``timeout`` / ``failed`` record.  ``unexpected`` failures (a genuine
+  bug surfaced by one kernel) are terminal immediately — retrying a
+  deterministic crash only wastes the budget.
+* A dead worker process (``BrokenProcessPool``) costs the batch one pool
+  respawn: completed results are kept, in-flight work is blamed one
+  ``worker-crash`` failure and requeued, and a fresh pool continues.  A
+  parent-side watchdog backstops the in-worker alarm: if a worker blows
+  well past the budget without reporting, the pool is killed and the
+  kernel is treated as timed out.
+* Failure records and fallback-degraded payloads are **never cached** —
+  they describe the environment, not the kernel.
+* Everything above is accounted in the report's ``health`` section
+  (retries, timeouts, crashes, respawns, quarantined kernels, fallbacks
+  taken, oracle downgrades), rendered by ``repro batch`` and exercised
+  end-to-end by the seeded chaos suite (``tests/test_chaos.py``) via
+  :mod:`repro.service.faults`.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.errors import ReproError
+from repro.errors import (
+    InfrastructureError,
+    KernelTimeoutError,
+    ReproError,
+    TransientWorkerError,
+    WorkerCrashError,
+)
+from repro.service import faults
 from repro.service.cache import ResultCache, analyzer_version, cache_key
 
 
@@ -74,6 +118,32 @@ class KernelVerdict:
         return list(self.payload.get("parallel_loops", ()))
 
 
+def _new_health() -> dict:
+    """An empty batch-health ledger: every infrastructure event of a run
+    in one dict (counters, quarantine lists, fallbacks taken)."""
+    return {
+        "retries": 0,
+        "timeouts": 0,
+        "worker_crashes": 0,
+        "pool_respawns": 0,
+        "watchdog_kills": 0,
+        "transient_errors": 0,
+        "unexpected_errors": 0,
+        "quarantined": [],  # kernels that exhausted max_failures
+        "failed": [],  # kernels terminated by an unexpected error
+        "fallbacks": {},  # degradation-ladder kind -> count
+        "oracle_downgrades": [],  # validation verdicts downgraded to unknown
+    }
+
+
+def _health_events(health: "dict | None") -> bool:
+    if not health:
+        return False
+    return any(
+        bool(v) for k, v in health.items() if k != "fallbacks"
+    ) or bool(health.get("fallbacks"))
+
+
 @dataclass
 class BatchReport:
     """Everything one :meth:`BatchEngine.run` produced."""
@@ -83,6 +153,7 @@ class BatchReport:
     verdicts: list[KernelVerdict] = field(default_factory=list)
     total_seconds: float = 0.0
     cache_stats: "dict[str, int] | None" = None
+    health: dict = field(default_factory=_new_health)
 
     def verdict(self, name: str) -> KernelVerdict:
         for v in self.verdicts:
@@ -95,7 +166,8 @@ class BatchReport:
         """The machine-readable verdict report.
 
         Deterministic: identical for cold, warm, and parallel runs of the
-        same requests (no timings, no cache metadata, sorted keys).
+        same requests (no timings, no cache metadata, no health — those
+        describe the run, not the verdicts).
         """
         import json
 
@@ -107,7 +179,8 @@ class BatchReport:
         return json.dumps(doc, sort_keys=True, indent=2)
 
     def to_json(self) -> str:
-        """Full report: canonical verdicts plus timings and cache stats."""
+        """Full report: canonical verdicts plus timings, cache stats, and
+        the run's health ledger."""
         import json
 
         doc = {
@@ -116,6 +189,7 @@ class BatchReport:
             "jobs": self.jobs,
             "total_seconds": round(self.total_seconds, 6),
             "cache": self.cache_stats,
+            "health": self.health,
             "verdicts": [
                 {
                     **v.payload,
@@ -136,6 +210,12 @@ class BatchReport:
             title=f"batch analysis ({self.method}, jobs={self.jobs})",
         )
         for v in self.verdicts:
+            if "failure" in v.payload:
+                status = v.payload.get("status", "failed").upper()
+                t.add_row(
+                    v.name, "-", f"{status}: {v.payload['error'][:40]}", "-", "-", "-"
+                )
+                continue
             if not v.ok:
                 t.add_row(v.name, "-", f"ERROR: {v.payload['error'][:40]}", "-", "-", "-")
                 continue
@@ -174,7 +254,47 @@ class BatchReport:
                     f"WARNING: {corrupt} corrupt cache entr(y/ies) dropped and "
                     "recomputed — check the cache directory for bitrot"
                 )
+            stale = self.cache_stats.get("schema_mismatches", 0)
+            if stale:
+                lines.append(
+                    f"note: {stale} cache entr(y/ies) from an older schema "
+                    "dropped and recomputed"
+                )
+        lines.extend(self._render_health())
         return "\n".join(lines)
+
+    def _render_health(self) -> list[str]:
+        h = self.health or {}
+        if not _health_events(h):
+            return []
+        lines: list[str] = []
+        counters = (
+            ("retries", "retries"),
+            ("timeouts", "timeouts"),
+            ("worker_crashes", "worker crashes"),
+            ("pool_respawns", "pool respawns"),
+            ("watchdog_kills", "watchdog kills"),
+            ("transient_errors", "transient errors"),
+            ("unexpected_errors", "unexpected errors"),
+        )
+        bits = [f"{h[key]} {label}" for key, label in counters if h.get(key)]
+        if bits:
+            lines.append("health: " + ", ".join(bits))
+        if h.get("quarantined"):
+            lines.append("QUARANTINED: " + ", ".join(h["quarantined"]))
+        if h.get("failed"):
+            lines.append("FAILED (unexpected error): " + ", ".join(h["failed"]))
+        if h.get("fallbacks"):
+            lines.append(
+                "fallbacks taken: "
+                + ", ".join(f"{k} x{n}" for k, n in sorted(h["fallbacks"].items()))
+            )
+        for d in h.get("oracle_downgrades", ()):
+            lines.append(
+                f"VALIDATION DOWNGRADED [{d['name']}]: loop {d['loop']} -> "
+                f"unknown ({d['reason']})"
+            )
+        return lines
 
 
 # --------------------------------------------------------------------------
@@ -249,6 +369,10 @@ def _compute_payload(
             assertions=assertions if assertions is not None else req.assertion_env(),
             function=req.function,
         )
+    except InfrastructureError:
+        # timeouts/crashes are environmental, not verdicts: let the
+        # worker guard classify them (caching one would poison the key)
+        raise
     except ReproError as exc:
         return {**base, "error": f"{type(exc).__name__}: {exc}", "function": req.function}
     loops = [
@@ -261,7 +385,7 @@ def _compute_payload(
         }
         for p in out.plan.loops.values()
     ]
-    return {
+    payload = {
         **base,
         "function": out.func.name,
         "parallel_loops": out.plan.parallel_loops,
@@ -270,6 +394,85 @@ def _compute_payload(
         "analysis_engine": out.analysis.engine,
         "pipeline": out.analysis.pipeline,
     }
+    fallback = getattr(out.analysis, "fallback", None)
+    if fallback:
+        # degraded result: correct (the fallback engine is the frozen
+        # baseline) but provenance-marked and excluded from the cache
+        payload["fallbacks"] = [dict(fallback)]
+    return payload
+
+
+def _worker_run(
+    req: AnalysisRequest,
+    key: str,
+    attempts: "dict[str, int] | None" = None,
+    budget: "float | None" = None,
+    func=None,  # noqa: ANN001 — serial fast path only (not picklable-safe)
+    assertions=None,  # noqa: ANN001
+) -> dict:
+    """Guarded worker: run one request under the wall-clock ``budget``
+    and convert every infrastructure failure into a structured *failure
+    payload* — a worker never lets an exception escape (an injected
+    ``worker.crash`` in a pool genuinely kills the process instead).
+
+    ``attempts`` carries the scheduler's per-kind failure counts for
+    this work item, which keys the deterministic fault-injection rules
+    (a consumed crash rule stays consumed across pool respawns).
+    """
+    attempts = attempts or {}
+    base = {
+        "name": req.name,
+        "method": req.method,
+        "cache_key": key,
+        "function": req.function,
+    }
+    try:
+        with faults.time_budget(budget, req.name):
+            faults.maybe_fail("worker.crash", req.name, attempts.get("worker-crash", 0))
+            faults.maybe_fail("worker.hang", req.name, attempts.get("timeout", 0))
+            faults.maybe_fail(
+                "worker.transient", req.name, attempts.get("transient", 0)
+            )
+            faults.maybe_fail("worker.error", req.name, attempts.get("unexpected", 0))
+            return _compute_payload(req, key, func=func, assertions=assertions)
+    except KernelTimeoutError as exc:
+        return {**base, "failure": "timeout", "error": str(exc)}
+    except WorkerCrashError as exc:
+        return {**base, "failure": "worker-crash", "error": str(exc)}
+    except (TransientWorkerError, OSError) as exc:
+        return {**base, "failure": "transient", "error": f"{type(exc).__name__}: {exc}"}
+    except Exception as exc:  # noqa: BLE001 — one kernel's bug, one kernel's record
+        return {**base, "failure": "unexpected", "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _cacheable(payload: dict) -> bool:
+    """Failure records and fallback-degraded payloads describe the run's
+    environment, not the kernel — never cache them as verdicts."""
+    return "failure" not in payload and "fallbacks" not in payload
+
+
+class _Work:
+    """Mutable scheduler state for one cache miss."""
+
+    __slots__ = ("req", "key", "func", "env", "failed", "hard_timeout")
+
+    def __init__(self, req: AnalysisRequest, key: str, func=None, env=None) -> None:  # noqa: ANN001
+        self.req = req
+        self.key = key
+        self.func = func
+        self.env = env
+        self.failed: dict[str, int] = {}  # failure kind -> count
+        self.hard_timeout = False  # parent watchdog flagged this item
+
+
+#: health counter bumped per observed failure of each kind ("worker-crash"
+#: is deliberately absent: crashes are counted per pool-death *event*, not
+#: per blamed in-flight kernel, so accounting matches injections).
+_FAILURE_COUNTERS = {
+    "timeout": "timeouts",
+    "transient": "transient_errors",
+    "unexpected": "unexpected_errors",
+}
 
 
 # --------------------------------------------------------------------------
@@ -278,19 +481,35 @@ def _compute_payload(
 
 
 class BatchEngine:
-    """Cache-aware, optionally parallel analysis driver."""
+    """Cache-aware, optionally parallel, fault-tolerant analysis driver.
+
+    ``timeout`` is the per-kernel wall-clock budget in seconds (None:
+    unlimited); ``max_failures`` is how many infrastructure failures
+    (timeouts, transient errors, worker crashes — in any mix) one kernel
+    may accumulate before it is quarantined; ``backoff`` scales the
+    sleep before a retry."""
 
     def __init__(
         self,
         method: str = "extended",
         jobs: int = 1,
         cache: "ResultCache | None" = None,
+        timeout: "float | None" = None,
+        max_failures: int = 2,
+        backoff: float = 0.02,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {max_failures}")
         self.method = method
         self.jobs = jobs
         self.cache = cache if cache is not None else ResultCache()
+        self.timeout = timeout
+        self.max_failures = max_failures
+        self.backoff = backoff
 
     # -- single request -------------------------------------------------------
     def analyze(self, req: AnalysisRequest) -> KernelVerdict:
@@ -302,7 +521,8 @@ class BatchEngine:
             return KernelVerdict(req.name, {**hit, "name": req.name}, True,
                                  time.perf_counter() - t0)
         payload = _compute_payload(req, key, func=func, assertions=env)
-        self.cache.put(key, payload)
+        if _cacheable(payload):
+            self.cache.put(key, payload)
         return KernelVerdict(req.name, payload, False, time.perf_counter() - t0)
 
     def analyze_source(
@@ -322,23 +542,53 @@ class BatchEngine:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate request names: {', '.join(dupes)}")
         t_start = time.perf_counter()
+        health = _new_health()
 
         verdicts: dict[str, KernelVerdict] = {}
-        misses: list[tuple] = []  # (req, key, func, env)
+        misses: list[_Work] = []
         for req in reqs:
             t0 = time.perf_counter()
-            key, func, env = _prepare(req)
+            try:
+                key, func, env = _prepare(req)
+            except Exception as exc:  # noqa: BLE001 — a frontend bug costs one row, not the batch
+                health["unexpected_errors"] += 1
+                health["failed"].append(req.name)
+                verdicts[req.name] = KernelVerdict(
+                    req.name,
+                    {
+                        "name": req.name,
+                        "method": req.method,
+                        "cache_key": None,
+                        "function": req.function,
+                        "failure": "unexpected",
+                        "status": "failed",
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "attempts": 1,
+                        "quarantined": False,
+                    },
+                    False,
+                    time.perf_counter() - t0,
+                )
+                continue
             hit = self.cache.get(key)
             if hit is not None:
                 verdicts[req.name] = KernelVerdict(
                     req.name, {**hit, "name": req.name}, True, time.perf_counter() - t0
                 )
             else:
-                misses.append((req, key, func, env))
+                misses.append(_Work(req, key, func, env))
 
-        for req, key, payload, seconds in self._compute_all(misses):
-            self.cache.put(key, payload)
+        for req, key, payload, seconds in self._compute_all(misses, health):
+            if _cacheable(payload):
+                self.cache.put(key, payload)
             verdicts[req.name] = KernelVerdict(req.name, payload, False, seconds)
+
+        for v in verdicts.values():
+            for fb in v.payload.get("fallbacks", ()):
+                kind = fb.get("kind", "unknown") if isinstance(fb, dict) else str(fb)
+                health["fallbacks"][kind] = health["fallbacks"].get(kind, 0) + 1
+        health["quarantined"].sort()
+        health["failed"].sort()
 
         return BatchReport(
             method=self.method,
@@ -346,39 +596,215 @@ class BatchEngine:
             verdicts=[verdicts[n] for n in names],
             total_seconds=time.perf_counter() - t_start,
             cache_stats=self.cache.stats.to_dict(),
+            health=health,
         )
 
+    # -- retry / quarantine policy (shared by serial and pool paths) ----------
+    def _register_failure(
+        self, w: _Work, kind: str, error: str, health: dict, count: bool = True
+    ) -> "dict | None":
+        """Record one failure of ``kind`` against ``w``.  Returns the
+        terminal quarantine/failure payload, or ``None`` when the kernel
+        earned another retry."""
+        w.failed[kind] = w.failed.get(kind, 0) + 1
+        if count and kind in _FAILURE_COUNTERS:
+            health[_FAILURE_COUNTERS[kind]] += 1
+        total = sum(w.failed.values())
+        if kind != "unexpected" and total < self.max_failures:
+            health["retries"] += 1
+            if self.backoff:
+                time.sleep(min(self.backoff * total, 0.5))
+            return None
+        quarantined = kind != "unexpected"
+        payload = {
+            "name": w.req.name,
+            "method": w.req.method,
+            "cache_key": w.key,
+            "function": w.req.function,
+            "failure": kind,
+            "status": "timeout" if kind == "timeout" else "failed",
+            "error": error,
+            "attempts": total,
+            "quarantined": quarantined,
+        }
+        (health["quarantined"] if quarantined else health["failed"]).append(w.req.name)
+        return payload
+
     def _compute_all(
-        self, misses: "Sequence[tuple]"
+        self, misses: "Sequence[_Work]", health: dict
     ) -> list[tuple[AnalysisRequest, str, dict, float]]:
         if not misses:
             return []
         if self.jobs == 1 or len(misses) == 1:
-            out = []
-            for req, key, func, env in misses:
-                t0 = time.perf_counter()
-                payload = _compute_payload(req, key, func=func, assertions=env)
-                out.append((req, key, payload, time.perf_counter() - t0))
-            return out
+            return self._compute_serial(misses, health)
+        return self._compute_pool(misses, health)
+
+    def _compute_serial(
+        self, misses: "Sequence[_Work]", health: dict
+    ) -> list[tuple[AnalysisRequest, str, dict, float]]:
+        out = []
+        for w in misses:
+            t0 = time.perf_counter()
+            while True:
+                payload = _worker_run(
+                    w.req, w.key, dict(w.failed), self.timeout,
+                    func=w.func, assertions=w.env,
+                )
+                kind = payload.get("failure")
+                if kind is None:
+                    break
+                # serial crashes are in-process exceptions, one per
+                # failure, so (unlike the pool path) each counts
+                if kind == "worker-crash":
+                    health["worker_crashes"] += 1
+                payload = self._register_failure(
+                    w, kind, payload.get("error", ""), health
+                )
+                if payload is not None:
+                    break
+            out.append((w.req, w.key, payload, time.perf_counter() - t0))
+        return out
+
+    # -- resilient process-pool scheduler --------------------------------------
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        plan = faults.active_plan()
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=faults.pool_worker_init,
+            initargs=(plan.spec() if plan is not None else None,),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Best-effort SIGKILL of every pool process (watchdog path)."""
+        procs = getattr(pool, "_processes", None) or {}
+        for p in list(procs.values()):
+            try:
+                p.kill()
+            except Exception:  # noqa: BLE001 — already-dead processes are fine
+                pass
+
+    def _compute_pool(
+        self, misses: "Sequence[_Work]", health: dict
+    ) -> list[tuple[AnalysisRequest, str, dict, float]]:
         workers = min(self.jobs, len(misses))
         t0 = time.perf_counter()
-        # Workers re-parse from source: only (req, key) crosses the
-        # process boundary, keeping worker inputs plain picklable data.
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = list(
-                pool.map(
-                    _compute_payload,
-                    [m[0] for m in misses],
-                    [m[1] for m in misses],
-                )
-            )
+        pending: "deque[_Work]" = deque(misses)
+        in_flight: "dict" = {}  # future -> (work, submit monotonic time)
+        results: dict[str, tuple[AnalysisRequest, str, dict]] = {}
+        # grace sits well above the in-worker SIGALRM: the parent watchdog
+        # only fires when a worker is wedged beyond signals
+        grace = None if self.timeout is None else self.timeout * 3 + 5.0
+        pool = self._new_pool(workers)
+        try:
+            while pending or in_flight:
+                broken = False
+                watchdog_fired = False
+                # cap in-flight at the worker count so a pool death can
+                # only blame work that was genuinely running
+                while pending and len(in_flight) < workers:
+                    w = pending.popleft()
+                    try:
+                        f = pool.submit(
+                            _worker_run, w.req, w.key, dict(w.failed), self.timeout
+                        )
+                    except BrokenExecutor:
+                        pending.appendleft(w)
+                        broken = True
+                        break
+                    in_flight[f] = (w, time.monotonic())
+                if in_flight and not broken:
+                    done, _ = wait(
+                        list(in_flight), timeout=0.25, return_when=FIRST_COMPLETED
+                    )
+                    for f in done:
+                        w, _t = in_flight.pop(f)
+                        try:
+                            payload = f.result()
+                        except BrokenExecutor:
+                            broken = True
+                            self._pool_fail(
+                                w, "worker-crash",
+                                "worker process died unexpectedly (process pool broken)",
+                                health, pending, results, count=False,
+                            )
+                        except Exception as exc:  # noqa: BLE001 — e.g. unpicklable payload
+                            self._pool_fail(
+                                w, "unexpected", f"{type(exc).__name__}: {exc}",
+                                health, pending, results,
+                            )
+                        else:
+                            self._absorb(w, payload, health, pending, results)
+                    if not done and grace is not None:
+                        now = time.monotonic()
+                        for f, (w, t_sub) in in_flight.items():
+                            if now - t_sub > grace and not f.done():
+                                w.hard_timeout = True
+                                watchdog_fired = True
+                        if watchdog_fired:
+                            health["watchdog_kills"] += 1
+                            self._kill_pool(pool)
+                            broken = True
+                if broken:
+                    # keep whatever finished before the break, blame the
+                    # rest one failure each, respawn, carry on
+                    for f, (w, _t) in list(in_flight.items()):
+                        payload = None
+                        if f.done() and not f.cancelled():
+                            try:
+                                payload = f.result()
+                            except BaseException:  # noqa: BLE001
+                                payload = None
+                        if payload is not None:
+                            self._absorb(w, payload, health, pending, results)
+                        elif w.hard_timeout:
+                            w.hard_timeout = False
+                            self._pool_fail(
+                                w, "timeout",
+                                f"no result after {grace:.1f}s — killed by the "
+                                "parent watchdog",
+                                health, pending, results,
+                            )
+                        else:
+                            self._pool_fail(
+                                w, "worker-crash",
+                                "worker process died unexpectedly (process pool broken)",
+                                health, pending, results, count=False,
+                            )
+                    in_flight.clear()
+                    if not watchdog_fired:
+                        health["worker_crashes"] += 1
+                    health["pool_respawns"] += 1
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._new_pool(workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         # per-item wall time is not observable across the pool; attribute
         # the batch wall clock evenly so totals stay meaningful
-        each = (time.perf_counter() - t0) / len(misses)
+        each = (time.perf_counter() - t0) / max(len(results), 1)
         return [
-            (req, key, payload, each)
-            for (req, key, _f, _e), payload in zip(misses, payloads)
+            (req, key, payload, each) for req, key, payload in results.values()
         ]
+
+    def _absorb(
+        self, w: _Work, payload: dict, health: dict, pending: "deque[_Work]",
+        results: dict,
+    ) -> None:
+        kind = payload.get("failure")
+        if kind is None:
+            results[w.req.name] = (w.req, w.key, payload)
+            return
+        self._pool_fail(w, kind, payload.get("error", ""), health, pending, results)
+
+    def _pool_fail(
+        self, w: _Work, kind: str, error: str, health: dict,
+        pending: "deque[_Work]", results: dict, count: bool = True,
+    ) -> None:
+        terminal = self._register_failure(w, kind, error, health, count=count)
+        if terminal is not None:
+            results[w.req.name] = (w.req, w.key, terminal)
+        else:
+            pending.append(w)
 
 
 # --------------------------------------------------------------------------
@@ -391,6 +817,7 @@ def validate_parallel_verdicts(
     seeds: Sequence[int] = (0, 1),
     engine: "str | None" = None,
     max_steps: int = 50_000_000,
+    extra_kernels: "Sequence" = (),
 ) -> dict[str, list[str]]:
     """Dynamically spot-check a batch report's PARALLEL verdicts.
 
@@ -401,36 +828,72 @@ def validate_parallel_verdicts(
     by default (``engine=None`` honours ``$REPRO_ENGINE``), which keeps
     the check cheap enough for ``repro batch --validate`` and CI.
 
+    ``extra_kernels`` extends the corpus lookup with any objects carrying
+    ``name`` / ``source`` / ``make_inputs`` (e.g. fuzz or pathological
+    kernels), so chaos runs can validate synthesized corpora too.
+
+    An oracle check that *times out* (injected ``oracle.timeout`` fault,
+    or a genuine step-budget exhaustion under ``max_steps``) is not a
+    violation: the verdict is **downgraded to unknown** and recorded in
+    ``report.health["oracle_downgrades"]``.
+
     Returns ``{request_name: [violation descriptions]}`` — empty when
-    every verdict holds up.
+    every validated verdict holds up.
     """
     from repro.corpus import all_kernels
     from repro.ir import build_function
     from repro.runtime import check_loop_independence
 
-    kernels = all_kernels()
+    kernels: dict = dict(all_kernels())
+    for k in extra_kernels:
+        kernels[k.name] = k
+    health = getattr(report, "health", None)
+    if health is not None:
+        faults.drain_fallback_notes()  # count only this validation's fallbacks
     problems: dict[str, list[str]] = {}
     for v in report.verdicts:
         if not v.ok or not v.parallel_loops:
             continue
         kernel = kernels.get(v.name)
-        if kernel is None or kernel.make_inputs is None:
+        if kernel is None or getattr(kernel, "make_inputs", None) is None:
             continue
         func = build_function(kernel.source)
         for label in v.parallel_loops:
             for seed in seeds:
-                rep = check_loop_independence(
-                    func,
-                    kernel.make_inputs(seed),
-                    label,
-                    max_steps=max_steps,
-                    engine=engine,
-                )
+                try:
+                    faults.maybe_fail("oracle.timeout", f"{v.name}:{label}")
+                    rep = check_loop_independence(
+                        func,
+                        kernel.make_inputs(seed),
+                        label,
+                        max_steps=max_steps,
+                        engine=engine,
+                    )
+                except ReproError as exc:
+                    budget_blown = isinstance(exc, KernelTimeoutError) or (
+                        "step budget" in str(exc)
+                    )
+                    if not budget_blown:
+                        raise
+                    if health is not None:
+                        health["oracle_downgrades"].append(
+                            {
+                                "name": v.name,
+                                "loop": label,
+                                "seed": seed,
+                                "verdict": "unknown",
+                                "reason": f"{type(exc).__name__}: {exc}",
+                            }
+                        )
+                    continue
                 if not rep.independent:
                     problems.setdefault(v.name, []).append(
                         f"loop {label} declared parallel but conflicts on "
                         f"seed {seed}: {rep.conflicts[0].describe()}"
                     )
+    if health is not None:
+        for kind, _detail in faults.drain_fallback_notes():
+            health["fallbacks"][kind] = health["fallbacks"].get(kind, 0) + 1
     return problems
 
 

@@ -520,6 +520,72 @@ def random_kernel(seed: int) -> RandomKernel:
     )
 
 
+def pathological_kernel(seed: int) -> RandomKernel:
+    """Synthesize a *pathological* kernel: statically well-behaved (small
+    source, clean verdicts) but brutally expensive to execute — huge trip
+    counts or deep nests whose iteration space explodes multiplicatively.
+
+    Used by the chaos suite to exercise the timeout/watchdog and
+    oracle-downgrade paths deterministically.  Deliberately **not** part
+    of :data:`_SEGMENT_FAMILIES`: adding a family there would reshuffle
+    ``rng.choice`` for every existing fuzz seed and silently change the
+    whole differential corpus.
+    """
+    rng = rng_of(seed)
+    name = f"patho{seed}"
+    if int(rng.integers(0, 2)) == 0:
+        # huge trip count: the inner loop runs R times per outer
+        # iteration over disjoint slices, so L1 is PARALLEL (range
+        # comparison) while executing the function costs n * R steps
+        r = int(rng.integers(1000, 2001))
+        family = f"huge_trip(R={r})"
+        size_of = lambda n: n * r + r  # noqa: E731
+        source = (
+            f"void {name}(int acc[], int n)\n"
+            "{\n"
+            "    int i, j;\n"
+            "    for (i = 0; i < n; i++) {\n"
+            f"        for (j = 0; j < {r}; j++) {{\n"
+            f"            acc[i * {r} + j] = acc[i * {r} + j] + 1;\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+        )
+    else:
+        # deep nest: six loops of small constant width w; the innermost
+        # loop writes disjoint affine slots (PARALLEL), and executing
+        # the function costs n * w^5 steps no matter which loop the
+        # oracle is pointed at
+        w = int(rng.integers(3, 6))
+        family = f"deep6(w={w})"
+        size_of = lambda n: n * w**5 + w**5  # noqa: E731
+        sub = "i"
+        for var in ("j", "l", "q", "r", "s"):
+            sub = f"({sub}) * {w} + {var}"
+        lines = [
+            f"void {name}(int acc[], int n)",
+            "{",
+            "    int i, j, l, q, r, s;",
+            "    for (i = 0; i < n; i++) {",
+        ]
+        for depth, var in enumerate(("j", "l", "q", "r", "s")):
+            lines.append("    " * (depth + 2) + f"for ({var} = 0; {var} < {w}; {var}++) {{")
+        lines.append("    " * 7 + f"acc[{sub}] = i + j;")
+        for depth in range(5, 0, -1):
+            lines.append("    " * (depth + 1) + "}")
+        lines += ["    }", "}", ""]
+        source = "\n".join(lines)
+
+    def make_inputs(input_seed: int) -> "dict[str, Any]":
+        irng = rng_of(input_seed)
+        n = int(irng.integers(4, 9))
+        return {"n": n, "acc": np.zeros(size_of(n), dtype=np.int64)}
+
+    return RandomKernel(
+        name=name, source=source, families=(family,), make_inputs=make_inputs
+    )
+
+
 # -- dense matrices for the Figure 9 pipeline -------------------------------------------
 
 
