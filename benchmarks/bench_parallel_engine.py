@@ -1,0 +1,96 @@
+"""PARALLEL-ENGINE smoke — the third runtime engine earns its keep.
+
+Two layers, both *relative* (absolute times are meaningless on shared
+CI runners):
+
+* **correctness at speed** — every benchmark kernel executes on the
+  parallel engine bit-identically to the interpreter, whatever the
+  host's CPU count (the ordered reduction replay makes worker count
+  unobservable), and the engine stays within a generous overhead
+  envelope of the compiled serial engine when no real parallelism is
+  available;
+* **measured speedup** — on multi-core hosts only, the CG product loop
+  must actually beat the compiled serial engine at 2+ workers.  On a
+  single-CPU host that claim is physically unavailable, so the test
+  skips with the reason printed rather than asserting a number the
+  hardware cannot produce.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation import measure_figure10, render_measured
+from repro.ir import build_function
+from repro.runtime import compile_parallel, execute, run_function
+from repro.runtime.bench import BENCH_KERNELS
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+CPUS = os.cpu_count() or 1
+
+
+def _copy(env: dict) -> dict:
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+@pytest.mark.parametrize("name", sorted(BENCH_KERNELS))
+def test_parallel_engine_matches_interp_on_bench_kernels(name):
+    src, _label, env_builder = BENCH_KERNELS[name]
+    func = build_function(src)
+    base = env_builder(2000)
+    ref = _copy(base)
+    run_function(func, ref)
+    env = _copy(base)
+    execute(func, env, engine="parallel")
+    for key, want in ref.items():
+        got = env[key]
+        if isinstance(want, np.ndarray):
+            assert np.array_equal(got, want), key
+        else:
+            assert got == want, key
+
+
+def test_parallel_overhead_envelope():
+    """Scheduling + chunking overhead stays bounded: the parallel engine
+    on 1 worker must land within 3x of the compiled serial engine on
+    the embarrassingly-parallel branch kernel (in practice it is ~1x;
+    3x only trips on a pathological regression, not runner noise)."""
+    src, _label, env_builder = BENCH_KERNELS["par_branch_private"]
+    func = build_function(src)
+    pf = compile_parallel(func)
+
+    def best(run) -> float:
+        t = float("inf")
+        for _ in range(3):
+            env = _copy(env_builder(20000))
+            t0 = time.perf_counter()
+            run(env)
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    t_compiled = best(lambda env: execute(func, env, engine="compiled"))
+    t_parallel = best(lambda env: pf.run(env, workers=1))
+    assert t_parallel < 3.0 * t_compiled, (t_parallel, t_compiled)
+
+
+def test_measured_cg_speedup_on_multicore():
+    """The Figure-10 claim, measured for real: at 2 or 4 workers the
+    parallel engine beats compiled-serial on the CG product loop."""
+    if CPUS < 2:
+        pytest.skip(
+            f"host has {CPUS} cpu(s); a parallel speedup > 1x needs at "
+            "least 2 — correctness is still pinned by the equivalence tests"
+        )
+    if not HAVE_FORK:
+        pytest.skip("multiprocessing strategy needs the fork start method")
+    points = measure_figure10(workers=(2, 4), nrows=8000, repeats=3)
+    print()
+    print(render_measured(points))
+    assert max(p.speedup for p in points) > 1.1, [
+        (p.workers, p.speedup) for p in points
+    ]

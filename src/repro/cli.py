@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro parallelize FILE.c [--method extended] [--trace] [--plan]
+                                [--execute [--size N] [--workers W]]
     python -m repro analyze FILE.c [--vars a,b,c]
     python -m repro explain LOOP (FILE.c | --kernel NAME) [--method extended]
     python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH]
@@ -10,7 +11,7 @@ Usage::
     python -m repro bench [--json PATH] [--size N] [--check]
     python -m repro bench --analysis [--json PATH] [--check]
     python -m repro figure1
-    python -m repro figure10
+    python -m repro figure10 [--measured]
 
 ``parallelize`` prints the OpenMP-annotated C (the paper's artifact);
 ``analyze`` prints the Section-3.5-style trace; ``explain`` prints the
@@ -52,7 +53,79 @@ def cmd_parallelize(args: argparse.Namespace) -> int:
 
         print()
         print(render_trace(out.analysis))
+    if args.execute:
+        return _execute_plans(args)
     return 0
+
+
+def _synth_inputs(func, size: int, seed: int = 0) -> dict:
+    """Synthesize interpreter-ready inputs for an arbitrary mini-C
+    function: index-typed (int) arrays draw from ``[0, size)`` so
+    subscripted subscripts stay in bounds, float arrays are random, and
+    every int scalar parameter is bound to ``size``."""
+    import numpy as np
+
+    from repro.ir.symtab import ElemType
+
+    rng = np.random.default_rng(seed)
+    env: dict = {}
+    for info in func.symtab.arrays():
+        shape = tuple(size if d is None else d for d in info.dims)
+        if info.elem_type is ElemType.INT:
+            env[info.name] = rng.integers(0, size, size=shape).astype(np.int64)
+        else:
+            env[info.name] = rng.uniform(-1.0, 1.0, size=shape)
+    for info in func.symtab.scalars():
+        if not info.is_param:
+            continue
+        env[info.name] = size if info.elem_type is ElemType.INT else 0.5
+    return env
+
+
+def _execute_plans(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.ir import build_function
+    from repro.runtime import compile_parallel, execute, schedules_for
+
+    func = build_function(_read(args.file), args.function)
+    env = _synth_inputs(func, args.size)
+    print()
+    print(f"-- execute (size={args.size}, workers={args.workers or 'auto'}) --")
+    scheds = schedules_for(func)
+    if scheds:
+        for sched in scheds.values():
+            print("schedule:", sched.describe())
+    else:
+        print("schedule: none (no PARALLEL loop verdicts; serial path)")
+    ref = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+    t0 = time.perf_counter()
+    execute(func, ref, engine="compiled")
+    t_ser = time.perf_counter() - t0
+    pf = compile_parallel(func)
+    t0 = time.perf_counter()
+    pf.run(env, workers=args.workers)
+    t_par = time.perf_counter() - t0
+    agree = all(
+        np.array_equal(env[k], ref[k])
+        if isinstance(ref[k], np.ndarray)
+        else env[k] == ref[k]
+        for k in ref
+    )
+    c = pf.last_counters
+    print(
+        f"compiled {t_ser * 1e3:8.2f} ms | parallel {t_par * 1e3:8.2f} ms | "
+        f"speedup {t_ser / max(t_par, 1e-9):.2f}x"
+    )
+    print(
+        f"counters: {c['parallel_activations']} parallel activations, "
+        f"{c['inproc_chunks']} in-proc chunks, {c['mp_chunks']} mp chunks, "
+        f"{c['serial_fallbacks']} serial fallbacks"
+    )
+    print("engines agree:", "yes" if agree else "NO")
+    return 0 if agree else 1
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -270,6 +343,16 @@ def cmd_figure10(args: argparse.Namespace) -> int:
         print("shape violations:", "; ".join(problems))
         return 1
     print("all paper shape checks hold")
+    if args.measured:
+        import os
+
+        from repro.evaluation import measure_figure10, render_measured
+
+        points = measure_figure10()
+        print()
+        print(render_measured(points))
+        if (os.cpu_count() or 1) < 2:
+            print("note: single-cpu host — measured speedups > 1x are not expected")
     return 0
 
 
@@ -286,6 +369,24 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--function", default=None, help="function name (default: the only one)")
     p.add_argument("--trace", action="store_true", help="also print the analysis trace")
     p.add_argument("--plan", action="store_true", help="also print the loop plan")
+    p.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run the kernel on synthesized inputs: compiled vs the "
+        "parallel engine, printing schedules, timings, and agreement",
+    )
+    p.add_argument(
+        "--size",
+        type=int,
+        default=4096,
+        help="--execute problem size (default 4096)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="--execute worker count (default: $REPRO_WORKERS or cpu count)",
+    )
     p.set_defaults(fn=cmd_parallelize)
 
     a = sub.add_parser("analyze", help="print the Section 3.5-style analysis trace")
@@ -340,8 +441,10 @@ def make_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--engine",
         default=None,
-        choices=["interp", "compiled"],
-        help="runtime engine for --validate (default: $REPRO_ENGINE or compiled)",
+        choices=["interp", "compiled", "parallel"],
+        help="runtime engine for --validate (default: $REPRO_ENGINE or "
+        "compiled; 'parallel' additionally executes each validated kernel "
+        "on the parallel engine against the interpreter)",
     )
     b.set_defaults(fn=cmd_batch)
 
@@ -373,9 +476,14 @@ def make_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure1", help="regenerate the Figure 1 study table").set_defaults(
         fn=cmd_figure1
     )
-    sub.add_parser("figure10", help="regenerate the Figure 10 speedup table").set_defaults(
-        fn=cmd_figure10
+    f10 = sub.add_parser("figure10", help="regenerate the Figure 10 speedup table")
+    f10.add_argument(
+        "--measured",
+        action="store_true",
+        help="also measure the CG product loop on the parallel engine "
+        "(workers 2 and 4) against the compiled serial engine",
     )
+    f10.set_defaults(fn=cmd_figure10)
     return parser
 
 

@@ -479,6 +479,171 @@ EXTENSION_KERNELS: dict[str, CorpusKernel] = {
 }
 
 
+# -- parallel-runtime kernels (PR 8) -----------------------------------------
+#
+# These exercise the *execution* side of a PARALLEL verdict: scalar
+# privatization and ordered reductions under the chunked parallel engine
+# (``repro.runtime.parallel``).  They need no index-array property — the
+# writes are direct-indexed — but the reduction kernel's float results
+# must stay byte-identical to sequential execution across any worker
+# count, which the engine-equivalence suite pins.
+
+PAR_REDUCE_MIX_SRC = """
+void par_reduce_mix(double a[], double s, double lo, double hi, int n)
+{
+    int i;
+    double t;
+    for (i = 0; i < n; i++) {
+        t = a[i] * 2.0;
+        s = s + t;
+        lo = min(lo, t);
+        hi = max(hi, t);
+    }
+}
+"""
+
+PAR_PRIVATE_BRANCH_SRC = """
+void par_private_branch(int a[], int out[], int n)
+{
+    int i, t;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            t = a[i] * 3;
+        } else {
+            t = 1 - a[i];
+        }
+        out[i] = t + i;
+    }
+}
+"""
+
+PAR_CARRIED_SERIAL_SRC = """
+void par_carried_serial(double a[], double s, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = s * 0.5;
+        s = a[i] + 1.0;
+    }
+}
+"""
+
+
+def _par_reduce_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 48
+    rng = generators.rng_of(seed)
+    return {
+        "a": rng.uniform(-4.0, 4.0, size=n),
+        "s": 0.25,
+        "lo": np.inf,
+        "hi": -np.inf,
+        "n": n,
+    }
+
+
+def _par_reduce_ref(env):
+    # replicate the *sequential* op order exactly: the engine promises
+    # byte-identical floats, so the reference must too (no np.sum)
+    s, lo, hi = env["s"], env["lo"], env["hi"]
+    for x in env["a"][: int(env["n"])]:
+        t = x * 2.0
+        s = s + t
+        lo = min(lo, t)
+        hi = max(hi, t)
+    return {"s": s, "lo": lo, "hi": hi}
+
+
+def _par_branch_inputs(seed: int):
+    import numpy as np
+
+    from repro.workloads import generators
+
+    n = 40
+    rng = generators.rng_of(seed + 3)
+    return {
+        "a": rng.integers(-9, 10, size=n).astype(np.int64),
+        "out": np.zeros(n, dtype=np.int64),
+        "n": n,
+    }
+
+
+def _par_branch_ref(env):
+    import numpy as np
+
+    a = env["a"][: int(env["n"])]
+    out = np.where(a > 0, a * 3, 1 - a) + np.arange(len(a), dtype=np.int64)
+    return {"out": out.astype(np.int64)}
+
+
+def _par_carried_inputs(seed: int):
+    import numpy as np
+
+    n = 32
+    return {"a": np.zeros(n, dtype=np.float64), "s": float(seed % 5), "n": n}
+
+
+def _par_carried_ref(env):
+    import numpy as np
+
+    n = int(env["n"])
+    a = np.zeros(n, dtype=np.float64)
+    s = env["s"]
+    for i in range(n):
+        a[i] = s * 0.5
+        s = a[i] + 1.0
+    return {"a": a}
+
+
+RUNTIME_KERNELS: dict[str, CorpusKernel] = {
+    k.name: k
+    for k in [
+        CorpusKernel(
+            name="par_reduce_mix",
+            figure="(parallel runtime, PR 8)",
+            pattern="-",
+            property_needed="none — sum/min/max reductions plus a private scalar",
+            source=PAR_REDUCE_MIX_SRC,
+            target_loop="L1",
+            make_inputs=_par_reduce_inputs,
+            reference=_par_reduce_ref,
+            notes="the parallel engine must replay the reduction event "
+            "stream in chunk order: s, lo, hi stay byte-identical to "
+            "sequential execution at any worker count",
+        ),
+        CorpusKernel(
+            name="par_private_branch",
+            figure="(parallel runtime, PR 8)",
+            pattern="-",
+            property_needed="none — written-before-read scalar privatization",
+            source=PAR_PRIVATE_BRANCH_SRC,
+            target_loop="L1",
+            make_inputs=_par_branch_inputs,
+            reference=_par_branch_ref,
+            notes="branchy body defeats the vectorized fast path, so the "
+            "chunk closures execute for real; t is definitely written on "
+            "every path, so the last chunk's final value is sequential's",
+        ),
+        CorpusKernel(
+            name="par_carried_serial",
+            figure="(parallel runtime, PR 8)",
+            pattern="-",
+            property_needed="none — genuine carried scalar recurrence",
+            source=PAR_CARRIED_SERIAL_SRC,
+            target_loop="L1",
+            expect_parallel=False,
+            make_inputs=_par_carried_inputs,
+            reference=_par_carried_ref,
+            notes="s is read before written each iteration: no schedule "
+            "derives and the parallel engine must take its serial path",
+        ),
+    ]
+}
+
+
 EXTRA_KERNELS: dict[str, CorpusKernel] = {
     k.name: k
     for k in [
@@ -656,8 +821,9 @@ SUITE_PROGRAMS: list[SuiteProgram] = [
 
 def all_kernels() -> dict[str, CorpusKernel]:
     """Every corpus kernel (figures + suite reconstructions + the
-    pass-framework extension kernels)."""
+    pass-framework extension kernels + the parallel-runtime kernels)."""
     out = dict(FIGURE_KERNELS)
     out.update(EXTRA_KERNELS)
     out.update(EXTENSION_KERNELS)
+    out.update(RUNTIME_KERNELS)
     return out

@@ -3,7 +3,11 @@
 from repro.evaluation.figure10 import (
     CG_KERNELS,
     Figure10Result,
+    MEASURED_WORKERS,
+    MeasuredPoint,
     THREADS,
+    measure_figure10,
+    render_measured,
     run_figure10,
     shape_checks,
 )
@@ -11,7 +15,11 @@ from repro.evaluation.figure10 import (
 __all__ = [
     "CG_KERNELS",
     "Figure10Result",
+    "MEASURED_WORKERS",
+    "MeasuredPoint",
     "THREADS",
+    "measure_figure10",
+    "render_measured",
     "run_figure10",
     "shape_checks",
 ]

@@ -9,21 +9,35 @@ from repro.parallelizer.planner import (
     plan_loop,
 )
 from repro.parallelizer.privatization import (
+    REDUCTION_IDENTITY,
     PrivatizationResult,
     ScalarClass,
     ScalarInfo,
     analyze_scalars,
+    reduction_update,
+)
+from repro.parallelizer.schedule import (
+    ParallelSchedule,
+    ReductionSlot,
+    ScheduleError,
+    derive_schedule,
 )
 
 __all__ = [
     "LoopPlan",
     "ParallelizationPlan",
     "ParallelizeOutput",
+    "ParallelSchedule",
     "PrivatizationResult",
+    "REDUCTION_IDENTITY",
+    "ReductionSlot",
     "ScalarClass",
     "ScalarInfo",
+    "ScheduleError",
     "analyze_scalars",
+    "derive_schedule",
     "parallelize",
     "plan_function",
     "plan_loop",
+    "reduction_update",
 ]

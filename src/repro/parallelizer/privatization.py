@@ -14,6 +14,7 @@ Everything else induces a loop-carried scalar dependence.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -34,6 +35,64 @@ from repro.ir.nodes import (
     Stmt,
 )
 from repro.ir.symtab import SymbolTable
+
+
+#: identity element per recognized reduction operator.  ``-`` folds as
+#: repeated subtraction from the incoming value, so its identity (the
+#: value contributed by an empty chunk) is 0, same as ``+``.
+REDUCTION_IDENTITY: dict[str, float | int] = {
+    "+": 0,
+    "-": 0,
+    "*": 1,
+    "min": math.inf,
+    "max": -math.inf,
+}
+
+
+def reduction_update(s: SAssign) -> tuple[str, str, IExpr] | None:
+    """Match one reduction update statement and split it into parts.
+
+    Returns ``(name, op, term)`` when ``s`` has one of the shapes
+
+    * ``x = x ⊕ e``  with ``⊕`` in {+, -, *}  (``term`` is ``e``),
+    * ``x = e ⊕ x``  with ``⊕`` in {+, *} — IEEE addition and
+      multiplication are commutative *bitwise* (modulo NaN payloads),
+      so the flipped form may be replayed as ``x ⊕ e``,
+    * ``x = min(x, e)`` / ``x = max(x, e)`` — first argument only:
+      Python's ``min``/``max`` return the *first* argument on ties, so
+      ``min(e, x)`` is not byte-equivalent to ``min(x, e)`` for signed
+      zeros and is deliberately not matched,
+
+    and ``e`` does not mention ``x``.  Returns ``None`` otherwise.
+    Shared between the privatization scanner (recognition) and the
+    parallel engine's chunk compiler (event capture), so the static
+    verdict and the runtime replay can never disagree on what counts
+    as a reduction.
+    """
+    if not isinstance(s.target, IVar):
+        return None
+    name = s.target.name
+    v = s.value
+    if isinstance(v, IBin) and v.op in ("+", "-", "*"):
+        left_is_x = isinstance(v.left, IVar) and v.left.name == name
+        right_is_x = isinstance(v.right, IVar) and v.right.name == name
+        if left_is_x and not _mentions(v.right, name):
+            return name, v.op, v.right
+        if right_is_x and v.op in ("+", "*") and not _mentions(v.left, name):
+            return name, v.op, v.left
+    if isinstance(v, ICall) and v.name in ("min", "max") and len(v.args) == 2:
+        first, second = v.args
+        if (
+            isinstance(first, IVar)
+            and first.name == name
+            and not _mentions(second, name)
+        ):
+            return name, v.name, second
+    return None
+
+
+def _mentions(e: IExpr, name: str) -> bool:
+    return any(isinstance(n, IVar) and n.name == name for n in e.walk())
 
 
 class ScalarClass(Enum):
@@ -207,22 +266,8 @@ class _Scanner:
                     state[name] = _St.EXPOSED
 
     def _reduction_shape(self, s: SAssign) -> tuple[str, str] | None:
-        """Match ``x = x ⊕ e`` (after IR desugaring of ``x ⊕= e``)."""
-        if not isinstance(s.target, IVar):
+        """Match ``x = x ⊕ e`` / ``x = min(x, e)`` — see :func:`reduction_update`."""
+        red = reduction_update(s)
+        if red is None or red[0] == self.loop_var:
             return None
-        name = s.target.name
-        if name == self.loop_var:
-            return None
-        v = s.value
-        if isinstance(v, IBin) and v.op in ("+", "-", "*"):
-            left_is_x = isinstance(v.left, IVar) and v.left.name == name
-            right_is_x = isinstance(v.right, IVar) and v.right.name == name
-            if left_is_x and not self._mentions(v.right, name):
-                return name, v.op if v.op != "-" else "-"
-            if right_is_x and v.op in ("+", "*") and not self._mentions(v.left, name):
-                return name, v.op
-        return None
-
-    @staticmethod
-    def _mentions(e: IExpr, name: str) -> bool:
-        return any(isinstance(n, IVar) and n.name == name for n in e.walk())
+        return red[0], red[1]

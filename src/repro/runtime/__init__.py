@@ -25,6 +25,13 @@ from repro.runtime.executor import (
 )
 from repro.runtime.interpreter import Interpreter, run_function
 from repro.runtime.oracle import Conflict, OracleReport, check_loop_independence
+from repro.runtime.parallel import (
+    ParallelFunction,
+    compile_parallel,
+    default_workers,
+    run_parallel,
+    schedules_for,
+)
 from repro.runtime.perf_model import (
     CgWork,
     MachineModel,
@@ -47,13 +54,16 @@ __all__ = [
     "MeasuredSeries",
     "ModeledPoint",
     "OracleReport",
+    "ParallelFunction",
     "RunStats",
     "TraceBuffer",
     "cg_time",
     "characterize",
     "check_loop_independence",
     "compile_function",
+    "compile_parallel",
     "default_engine",
+    "default_workers",
     "execute",
     "figure10_model",
     "measure_oracle_throughput",
@@ -61,5 +71,7 @@ __all__ = [
     "resolve_engine",
     "run_compiled",
     "run_function",
+    "run_parallel",
+    "schedules_for",
     "speedup_series",
 ]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import time
 from typing import Any, Callable
@@ -135,12 +136,42 @@ def _row_scatter_env(n: int) -> dict[str, Any]:
     }
 
 
+# Branchy privatized-scalar loop: the body defeats the vectorized fast
+# path, so ``execute`` measures real per-iteration closure work — the
+# regime where the parallel engine's chunked execution pays off (the
+# ``parallel`` column; honest multi-core speedups need cpu_count >= 2).
+_PAR_BRANCH_SRC = """
+void par_branch(int a[], int out[], int n)
+{
+    int i, t;
+    for (i = 0; i < n; i++) { a[i] = (i * 7) % 13 - 6; }
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            t = a[i] * 3;
+        } else {
+            t = 1 - a[i];
+        }
+        out[i] = t + i;
+    }
+}
+"""
+
+
+def _par_branch_env(n: int) -> dict[str, Any]:
+    return {
+        "n": n,
+        "a": np.zeros(n, np.int64),
+        "out": np.zeros(n, np.int64),
+    }
+
+
 BENCH_KERNELS: dict[str, tuple[str, str, Callable[[int], dict[str, Any]]]] = {
     # name -> (source, observed loop, env builder)
     "scatter_filled": (_SCATTER_SRC, "L2", _scatter_env),
     "gather_subsub": (_GATHER_SRC, "L2", _gather_env),
     "csr_segment_walk": (_CSR_WALK_SRC, "L3", _csr_env),
     "row_scatter_2d": (_ROW_SCATTER_SRC, "L2", _row_scatter_env),
+    "par_branch_private": (_PAR_BRANCH_SRC, "L2", _par_branch_env),
 }
 
 
@@ -171,17 +202,22 @@ def run_runtime_bench(
             f"unknown bench kernel(s) {', '.join(unknown)} "
             f"(choose from {', '.join(BENCH_KERNELS)})"
         )
+    from repro.runtime.parallel import default_workers
+
     doc: dict[str, Any] = {
         "command": COMMAND,
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+            "parallel_workers": default_workers(),
         },
         "params": {"size": size, "repeats": repeats, "fuzz_seeds": fuzz_seeds},
         "kernels": [],
     }
     speedups: list[float] = []
+    par_speedups: list[float] = []
     for name in chosen:
         src, label, env_builder = BENCH_KERNELS[name]
         func = build_function(src)
@@ -209,10 +245,24 @@ def run_runtime_bench(
             if entry["execute"]["compiled"]["seconds"] > 0
             else 0.0
         )
-        entry["engines_agree"] = (
-            i.independent == c.independent and i.accesses == c.accesses
+        # the Figure-10 direction: real parallel execution vs the
+        # compiled serial engine (> 1 needs cpu_count >= 2)
+        entry["execute"]["parallel_speedup"] = (
+            round(
+                entry["execute"]["compiled"]["seconds"]
+                / entry["execute"]["parallel"]["seconds"],
+                2,
+            )
+            if entry["execute"]["parallel"]["seconds"] > 0
+            else 0.0
+        )
+        entry["engines_agree"] = all(
+            reports[e].independent == i.independent
+            and reports[e].accesses == i.accesses
+            for e in ENGINES
         )
         speedups.append(max(entry["oracle"]["speedup"], 1e-9))
+        par_speedups.append(max(entry["execute"]["parallel_speedup"], 1e-9))
         doc["kernels"].append(entry)
     doc["fuzz_sweep"] = _fuzz_sweep(fuzz_seeds)
     doc["summary"] = {
@@ -222,6 +272,7 @@ def run_runtime_bench(
         if speedups
         else 0.0,
         "fuzz_sweep_speedup": doc["fuzz_sweep"]["speedup"],
+        "parallel_execute_best_speedup": max(par_speedups, default=0.0),
     }
     return doc
 
@@ -261,7 +312,9 @@ def _fuzz_sweep(seeds: int) -> dict[str, Any]:
     out["speedup"] = (
         round(times["interp"] / times["compiled"], 2) if times["compiled"] > 0 else 0.0
     )
-    out["verdicts_agree"] = verdicts["interp"] == verdicts["compiled"]
+    out["verdicts_agree"] = all(
+        verdicts[e] == verdicts["interp"] for e in ENGINES
+    )
     return out
 
 
@@ -288,7 +341,16 @@ def render(doc: dict[str, Any]) -> str:
     from repro.utils.tables import Table
 
     t = Table(
-        ["kernel", "loop", "interp ms", "compiled ms", "speedup", "Macc/s (compiled)"],
+        [
+            "kernel",
+            "loop",
+            "interp ms",
+            "compiled ms",
+            "speedup",
+            "parallel ms",
+            "par speedup",
+            "Macc/s (compiled)",
+        ],
         title=f"runtime engines — oracle path (size={doc['params']['size']})",
     )
     for e in doc["kernels"]:
@@ -298,6 +360,8 @@ def render(doc: dict[str, Any]) -> str:
             f"{e['oracle']['interp']['seconds'] * 1e3:.1f}",
             f"{e['oracle']['compiled']['seconds'] * 1e3:.1f}",
             f"{e['oracle']['speedup']:.1f}x",
+            f"{e['execute']['parallel']['seconds'] * 1e3:.1f}",
+            f"{e['execute']['parallel_speedup']:.1f}x",
             f"{e['oracle']['compiled']['accesses_per_s'] / 1e6:.1f}",
         )
     lines = [t.render()]
@@ -309,6 +373,14 @@ def render(doc: dict[str, Any]) -> str:
     )
     lines.append(
         f"geomean oracle speedup: {doc['summary']['oracle_geomean_speedup']:.1f}x"
+    )
+    host = doc["host"]
+    lines.append(
+        f"parallel execute: best speedup "
+        f"{doc['summary']['parallel_execute_best_speedup']:.2f}x over compiled "
+        f"({host['parallel_workers']} workers on {host['cpu_count']} cpus"
+        + (" — single cpu, >1x not expected" if host["cpu_count"] < 2 else "")
+        + ")"
     )
     return "\n".join(lines)
 

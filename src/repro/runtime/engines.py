@@ -1,6 +1,6 @@
 """Runtime engine registry: one switch for every dynamic-execution path.
 
-Two engines execute the mini-C IR:
+Three engines execute the mini-C IR:
 
 * ``"interp"`` — the tree-walking :mod:`repro.runtime.interpreter`; the
   *reference semantics*.  Slow, simple, and the yardstick every other
@@ -10,13 +10,23 @@ Two engines execute the mini-C IR:
   with batched NumPy tracing and a vectorized inner-loop fast path; the
   *production path* for the oracle, the differential fuzz suite, and the
   figure benchmarks.
+* ``"parallel"`` — :mod:`repro.runtime.parallel`: the compiled engine
+  plus real parallel execution of every loop the planner proves
+  PARALLEL, through a validated :class:`~repro.parallelizer.schedule.
+  ParallelSchedule` (chunked in-process or ``multiprocessing`` over
+  shared memory).  Serial loops and unvalidated schedules run on the
+  compiled closures; results are byte-identical to sequential execution
+  by construction.
 
 The default is ``"compiled"``; set the environment variable
-``REPRO_ENGINE=interp`` to fall back globally (every call site that does
-not pass an explicit ``engine=`` honours it).  To add a new engine,
-implement ``run(func, env, max_steps)`` plus a trace-producing oracle
-hook (see ``check_loop_independence``), register it here, and add it to
-the equivalence suite — the suite, not the registry, is what makes an
+``REPRO_ENGINE=interp`` (or ``=parallel``) to switch globally (every
+call site that does not pass an explicit ``engine=`` honours it, and
+``REPRO_WORKERS`` sizes the parallel engine's pool).  To add a new
+engine, implement ``run(func, env, max_steps)`` plus a trace-producing
+oracle hook (see ``check_loop_independence``), derive and *validate* a
+schedule for anything executed out of sequential order (see
+``parallelizer/schedule.py``), register it here, and add it to the
+equivalence suite — the suite, not the registry, is what makes an
 engine trustworthy.
 """
 
@@ -27,7 +37,7 @@ from typing import Any
 
 from repro.ir.nodes import IRFunction
 
-ENGINES = ("interp", "compiled")
+ENGINES = ("interp", "compiled", "parallel")
 
 #: production default; "interp" stays available as the reference.
 DEFAULT_ENGINE = "compiled"
@@ -60,14 +70,20 @@ def execute(
     selected engine.  Results are engine-independent by construction —
     the equivalence suite pins this.
 
-    Degradation ladder: an *internal* failure of the compiled engine
+    Degradation ladder: an *internal* failure of the parallel engine
     (any exception that is not a :class:`~repro.errors.ReproError`)
-    rolls the environment back and re-runs on the reference interpreter,
-    recording an ``engine:interp`` fallback note (drained into batch
-    health sections).  ``REPRO_FALLBACKS=0`` turns the ladder off."""
+    rolls the environment back and re-runs on the compiled engine,
+    recording an ``engine:compiled`` fallback note; an internal failure
+    of the compiled engine degrades the same way onto the reference
+    interpreter (``engine:interp``).  Notes are drained into batch
+    health sections.  ``REPRO_FALLBACKS=0`` turns the ladder off.
+    (The parallel engine additionally degrades *per loop* inside
+    :func:`~repro.runtime.parallel.run_parallel` — a failed chunk
+    dispatch rolls back and replays that one loop serially.)"""
     from repro.runtime.interpreter import run_function
 
-    if resolve_engine(engine) == "interp":
+    eng = resolve_engine(engine)
+    if eng == "interp":
         return run_function(func, env, max_steps=max_steps)
     import numpy as np
 
@@ -75,9 +91,24 @@ def execute(
     from repro.runtime.compiler import run_compiled
     from repro.service import faults
 
-    # snapshot so a mid-run compiled failure can roll the arrays back
-    # before the interpreter re-executes from the same initial state
+    # snapshot so a mid-run engine failure can roll the arrays back
+    # before the next rung re-executes from the same initial state
     snapshot = {k: v.copy() for k, v in env.items() if isinstance(v, np.ndarray)}
+    if eng == "parallel":
+        from repro.runtime.parallel import run_parallel
+
+        try:
+            return run_parallel(func, env, max_steps=max_steps)
+        except ReproError:
+            raise  # a verdict about the program, not an engine bug
+        except Exception as exc:  # noqa: BLE001 — engine bug: degrade, don't die
+            if not faults.fallbacks_enabled():
+                raise
+            faults.note_fallback(
+                "engine:compiled", f"{func.name}: {type(exc).__name__}: {exc}"
+            )
+            env.update(snapshot)
+            # fall through to the compiled rung
     try:
         faults.maybe_fail("engine.compiled", func.name)
         return run_compiled(func, env, max_steps=max_steps)

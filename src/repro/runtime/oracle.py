@@ -96,8 +96,13 @@ def check_loop_independence(
     Degradation ladder: an internal (non-:class:`~repro.errors.ReproError`)
     failure of the compiled trace path rolls the environment back and
     re-checks on the reference interpreter, recording an
-    ``oracle:interp`` fallback note.  ``REPRO_FALLBACKS=0`` disables it."""
-    if resolve_engine(engine) != "compiled":
+    ``oracle:interp`` fallback note.  ``REPRO_FALLBACKS=0`` disables it.
+
+    ``engine="parallel"`` routes through the compiled trace path: the
+    oracle's subject is the *program's* cross-iteration independence,
+    which is observed sequentially by construction — the parallel
+    engine consumes these verdicts, it does not produce them."""
+    if resolve_engine(engine) == "interp":
         return _check_interp(func, env, loop_label, max_conflicts, max_steps)
 
     from repro.errors import ReproError

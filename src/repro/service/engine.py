@@ -812,6 +812,47 @@ class BatchEngine:
 # --------------------------------------------------------------------------
 
 
+def _execute_parallel_vs_interp(func, kernel, seed: int, max_steps: int) -> list[str]:  # noqa: ANN001
+    """Run one kernel on the reference interpreter and the parallel
+    engine and describe any divergence (final environments must match
+    exactly; a program error must reproduce with the same message)."""
+    import numpy as np
+
+    from repro.errors import ReproError
+    from repro.runtime import run_function
+    from repro.runtime.engines import execute
+
+    def outcome(runner):  # noqa: ANN001
+        env = kernel.make_inputs(seed)
+        try:
+            runner(env)
+        except ReproError as exc:
+            return env, f"{type(exc).__name__}: {exc}"
+        return env, None
+
+    env_ref, err_ref = outcome(lambda e: run_function(func, e, max_steps=max_steps))
+    env_par, err_par = outcome(
+        lambda e: execute(func, e, engine="parallel", max_steps=max_steps)
+    )
+    mismatches: list[str] = []
+    if err_ref != err_par:
+        mismatches.append(
+            f"parallel execution error diverged on seed {seed}: "
+            f"interp {err_ref!r} vs parallel {err_par!r}"
+        )
+    for name in env_ref:
+        a, b = env_ref[name], env_par.get(name)
+        same = (
+            np.array_equal(a, b) if isinstance(a, np.ndarray) else bool(a == b)
+        )
+        if not same:
+            mismatches.append(
+                f"parallel execution diverged on seed {seed}: {name!r} "
+                f"differs from the interpreter"
+            )
+    return mismatches
+
+
 def validate_parallel_verdicts(
     report: BatchReport,
     seeds: Sequence[int] = (0, 1),
@@ -837,12 +878,21 @@ def validate_parallel_verdicts(
     violation: the verdict is **downgraded to unknown** and recorded in
     ``report.health["oracle_downgrades"]``.
 
+    With ``engine="parallel"`` each validated kernel is additionally
+    *executed* on the parallel engine and its final environment compared
+    against the reference interpreter, so the validation exercises the
+    real chunked execution path (the oracle itself always observes
+    sequential iteration order).  Degradation-ladder fallbacks taken
+    while validating — e.g. a failed chunk dispatch replayed serially —
+    are drained into ``report.health["fallbacks"]``.
+
     Returns ``{request_name: [violation descriptions]}`` — empty when
     every validated verdict holds up.
     """
     from repro.corpus import all_kernels
     from repro.ir import build_function
     from repro.runtime import check_loop_independence
+    from repro.runtime.engines import resolve_engine
 
     kernels: dict = dict(all_kernels())
     for k in extra_kernels:
@@ -891,6 +941,13 @@ def validate_parallel_verdicts(
                         f"loop {label} declared parallel but conflicts on "
                         f"seed {seed}: {rep.conflicts[0].describe()}"
                     )
+        if resolve_engine(engine) == "parallel":
+            for seed in seeds:
+                mismatches = _execute_parallel_vs_interp(
+                    func, kernel, seed, max_steps
+                )
+                for msg in mismatches:
+                    problems.setdefault(v.name, []).append(msg)
     if health is not None:
         for kind, _detail in faults.drain_fallback_notes():
             health["fallbacks"][kind] = health["fallbacks"].get(kind, 0) + 1

@@ -10,7 +10,8 @@ A *fault plan* is a list of rules ``site:glob[:times]``:
 
 * ``site`` — one of :data:`SITES` (``worker.crash``, ``worker.hang``,
   ``worker.transient``, ``worker.error``, ``analysis.passes``,
-  ``engine.compiled``, ``oracle.timeout``, ``cache.write``,
+  ``engine.compiled``, ``engine.parallel.worker``,
+  ``engine.parallel.shm``, ``oracle.timeout``, ``cache.write``,
   ``cache.corrupt``);
 * ``glob`` — an ``fnmatch`` pattern over the site's key (a kernel or
   cache-key name); defaults to ``*``;
@@ -63,6 +64,8 @@ SITES = {
     "worker.error": "raise an unexpected (non-Repro) RuntimeError",
     "analysis.passes": "fail the pass-framework engine (ladder: legacy walker)",
     "engine.compiled": "fail the compiled runtime engine (ladder: interp)",
+    "engine.parallel.worker": "fail a parallel-engine chunk dispatch (ladder: compiled serial replay)",
+    "engine.parallel.shm": "fail parallel-engine shared-memory setup (ladder: compiled serial replay)",
     "oracle.timeout": "time out an oracle check (verdict downgrades to unknown)",
     "cache.write": "raise OSError while writing a disk-cache entry",
     "cache.corrupt": "truncate the bytes written for a disk-cache entry",
@@ -218,8 +221,9 @@ def maybe_fail(site: str, key: str, attempt: "int | None" = None) -> None:
         raise KernelTimeoutError(f"injected oracle timeout for {key!r}")
     if site == "cache.write":
         raise OSError(f"injected cache write failure for {key!r}")
-    # worker.error / analysis.passes / engine.compiled: an "unexpected"
-    # internal bug (cache.corrupt is handled at the write site itself)
+    # worker.error / analysis.passes / engine.compiled /
+    # engine.parallel.*: an "unexpected" internal bug (cache.corrupt is
+    # handled at the write site itself)
     raise FaultInjected(f"injected fault at {site} for {key!r}")
 
 

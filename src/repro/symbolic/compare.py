@@ -31,7 +31,6 @@ from __future__ import annotations
 import enum
 import itertools
 import weakref
-from fractions import Fraction
 from typing import Iterable
 
 from repro.symbolic.expr import (
@@ -42,6 +41,7 @@ from repro.symbolic.expr import (
     Expr,
     ExprLike,
     NEG_INF,
+    Number,
     OpaqueOp,
     OpaqueTerm,
     POS_INF,
@@ -54,6 +54,7 @@ from repro.symbolic.expr import (
     mul,
     register_memo_table,
     sub,
+    trunc_div,
 )
 from repro.symbolic.facts import ArrayFact, FactEnv, MonoDir
 from repro.symbolic.ranges import SymRange
@@ -283,7 +284,7 @@ class Prover:
         one provably-nonnegative monotone pair, so ``e' >= 0 ⟹ e >= 0``."""
         if not isinstance(e, Sum) or depth <= 1:
             return
-        by_array: dict[str, list[tuple[Fraction, ArrayTerm]]] = {}
+        by_array: dict[str, list[tuple[Number, ArrayTerm]]] = {}
         for coeff, mono in e.terms:
             if len(mono) == 1 and isinstance(mono[0], ArrayTerm):
                 at = mono[0]
@@ -422,7 +423,7 @@ class Prover:
 
     def _bound_product(self, mono: tuple[Atom, ...], side: _Side, depth: int) -> Expr | None:
         """Bound a product of atoms; exact only with constant atom bounds."""
-        intervals: list[tuple[Fraction, Fraction]] = []
+        intervals: list[tuple[Number, Number]] = []
         for atom in mono:
             lo = self._bound(atom, _Side.LOW, depth - 1)
             hi = self._bound(atom, _Side.HIGH, depth - 1)
@@ -430,7 +431,7 @@ class Prover:
                 intervals.append((lo.value, hi.value))
             else:
                 return None
-        candidates = [Fraction(1)]
+        candidates: list[Number] = [1]
         for lo_v, hi_v in intervals:
             candidates = [c * v for c in candidates for v in (lo_v, hi_v)]
         return const(min(candidates) if side is _Side.LOW else max(candidates))
@@ -498,11 +499,9 @@ class Prover:
                 xlo = self._bound(x, _Side.LOW, depth - 1)
                 xhi = self._bound(x, _Side.HIGH, depth - 1)
                 if isinstance(xlo, Const) and isinstance(xhi, Const):
-                    import math
-
                     q = [
-                        Fraction(math.trunc(xlo.value / c.value)),
-                        Fraction(math.trunc(xhi.value / c.value)),
+                        trunc_div(xlo.value, c.value),
+                        trunc_div(xhi.value, c.value),
                     ]
                     return const(min(q)) if side is _Side.LOW else const(max(q))
             return op

@@ -186,18 +186,26 @@ _const_int_intern: dict[int, "Const"] = {}
 
 
 class Const(Expr):
-    """An integer (or exact rational) constant."""
+    """An integer (or exact rational) constant.
+
+    ``value`` is a native ``int`` for integer constants and a
+    ``Fraction`` only for genuine rationals: every numeric protocol the
+    analyzer relies on (ordering, arithmetic, ``numerator`` /
+    ``denominator``) is shared between the two, and the all-integer hot
+    path — virtually every expression the corpus produces — then never
+    pays ``Fraction.__new__``/``__add__``/``__eq__``.
+    """
 
     __slots__ = ("value", "_key_cache")
 
-    value: Fraction
+    value: Number
 
     def __new__(cls, value: Number) -> "Const":
         if type(value) is int:
             self = _const_int_intern.get(value)
             if self is None:
                 self = object.__new__(cls)
-                object.__setattr__(self, "value", Fraction(value))
+                object.__setattr__(self, "value", value)
                 object.__setattr__(self, "_key_cache", None)
                 _const_int_intern[value] = self
             return self
@@ -492,17 +500,17 @@ class Sum(Expr):
 
     __slots__ = ("const", "terms", "_key_cache")
 
-    const: Fraction
-    terms: tuple[tuple[Fraction, Monomial], ...]
+    const: Number
+    terms: tuple[tuple[Number, Monomial], ...]
 
     def __new__(
-        cls, const: Number, terms: tuple[tuple[Fraction, Monomial], ...]
+        cls, const: Number, terms: tuple[tuple[Number, Monomial], ...]
     ) -> "Sum":
-        if type(const) is not Fraction:
-            const = Fraction(const)
         # Key on (numerator, denominator) int pairs rather than the
         # Fractions themselves: Fraction.__hash__ computes a modular
-        # inverse per call, which dominated this lookup.
+        # inverse per call, which dominated this lookup.  ``int`` and
+        # integer-valued ``Fraction`` coefficients produce the same key,
+        # so mixed callers still intern to one node.
         key = (
             const.numerator,
             const.denominator,
@@ -510,6 +518,19 @@ class Sum(Expr):
         )
         self = _sum_intern.get(key)
         if self is None:
+            # store integer values as native ints (the Const discipline):
+            # downstream coefficient arithmetic then stays in fast int ops
+            if type(const) is Fraction and const.denominator == 1:
+                const = const.numerator
+            terms = tuple(
+                (
+                    c.numerator
+                    if type(c) is Fraction and c.denominator == 1
+                    else c,
+                    m,
+                )
+                for c, m in terms
+            )
             self = object.__new__(cls)
             object.__setattr__(self, "const", const)
             object.__setattr__(self, "terms", terms)
@@ -705,6 +726,13 @@ def _memo_put(table: dict[tuple, Expr], key: tuple, value: Expr) -> Expr:
 #: is surprisingly hot in the canonicalizers below.
 _F0 = Fraction(0)
 _F1 = Fraction(1)
+#: Integer sentinels for the canonicalizer's coefficient arithmetic.
+#: Coefficients and constants are native ints on the all-integer path
+#: (see :class:`Const`/:class:`Sum`), so the accumulators below start
+#: from these and ``int + int`` / ``int * int`` never touch ``Fraction``
+#: unless a genuine rational enters the expression.
+_I0 = 0
+_I1 = 1
 
 
 def _coerce(x: ExprLike) -> Expr:
@@ -763,29 +791,29 @@ def array_term(array: str, index: ExprLike) -> Expr:
 
 
 def _accumulate(
-    acc: dict[Monomial, Fraction], e: Expr, scale: Fraction
-) -> Fraction:
+    acc: dict[Monomial, Number], e: Expr, scale: Number
+) -> Number:
     """Fold ``scale * e`` into the monomial accumulator; returns the
     constant contribution."""
-    one = scale is _F1  # the add() path — skip the scale multiplies
+    one = scale is _I1  # the add() path — skip the scale multiplies
     if isinstance(e, Const):
         return e.value if one else scale * e.value
     if isinstance(e, Sum):
         if one:
             for coeff, mono in e.terms:
-                acc[mono] = acc.get(mono, _F0) + coeff
+                acc[mono] = acc.get(mono, _I0) + coeff
             return e.const
         for coeff, mono in e.terms:
-            acc[mono] = acc.get(mono, _F0) + scale * coeff
+            acc[mono] = acc.get(mono, _I0) + scale * coeff
         return scale * e.const
     if isinstance(e, Atom):
         mono: Monomial = (e,)
-        acc[mono] = acc.get(mono, _F0) + scale
-        return _F0
+        acc[mono] = acc.get(mono, _I0) + scale
+        return _I0
     raise SymbolicError(f"non-canonical expression in add: {e!r}")
 
 
-def _make_sum(acc: dict[Monomial, Fraction], constant: Fraction) -> Expr:
+def _make_sum(acc: dict[Monomial, Number], constant: Number) -> Expr:
     terms = tuple(
         sorted(
             ((c, m) for m, c in acc.items() if c != 0),
@@ -817,12 +845,12 @@ def add(*xs: ExprLike) -> Expr:
         if all(not i.positive for i in infs):  # type: ignore[union-attr]
             return NEG_INF
         raise SymbolicError("adding opposite infinities")
-    acc: dict[Monomial, Fraction] = {}
-    constant = _F0
+    acc: dict[Monomial, Number] = {}
+    constant: Number = _I0
     for e in es:
-        c = _accumulate(acc, e, _F1)
-        if c is not _F0:
-            constant = c if constant is _F0 else constant + c
+        c = _accumulate(acc, e, _I1)
+        if c is not _I0:
+            constant = c if constant is _I0 else constant + c
     return _memo_put(_memo_add, xs, _make_sum(acc, constant))
 
 
@@ -849,7 +877,7 @@ def _mul_two(a: Expr, b: Expr) -> Expr:
     if isinstance(a, Const):
         if a.value == 0:
             return ZERO
-        acc: dict[Monomial, Fraction] = {}
+        acc: dict[Monomial, Number] = {}
         constant = _accumulate(acc, b, a.value)
         return _make_sum(acc, constant)
     if isinstance(b, Const):
@@ -858,24 +886,24 @@ def _mul_two(a: Expr, b: Expr) -> Expr:
     a_terms = _as_terms(a)
     b_terms = _as_terms(b)
     acc = {}
-    constant = _F0
+    constant = _I0
     for ca, ma in a_terms:
         for cb, mb in b_terms:
             coeff = ca * cb
             mono = tuple(sorted(ma + mb, key=lambda at: at._key()))
             if mono:
-                acc[mono] = acc.get(mono, _F0) + coeff
+                acc[mono] = acc.get(mono, _I0) + coeff
             else:
                 constant += coeff
     return _make_sum(acc, constant)
 
 
-def _as_terms(e: Expr) -> list[tuple[Fraction, Monomial]]:
+def _as_terms(e: Expr) -> list[tuple[Number, Monomial]]:
     """View an expression as a list of (coeff, monomial) pairs."""
     if isinstance(e, Const):
         return [(e.value, ())]
     if isinstance(e, Atom):
-        return [(_F1, (e,))]
+        return [(_I1, (e,))]
     if isinstance(e, Sum):
         out = list(e.terms)
         if e.const != 0:
@@ -905,6 +933,19 @@ def _rebuild_opaque(op: OpaqueOp, args: tuple[Expr, ...]) -> Expr:
     return smax(*args)
 
 
+def trunc_div(a: Number, b: Number) -> int:
+    """Exact C-style (truncate-toward-zero) division of two exact
+    numbers.  Int operands never round-trip through ``Fraction`` (or,
+    worse, ``float`` — ``int / int`` would lose precision on wide
+    values); rationals stay exact."""
+    if type(a) is int and type(b) is int:
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    import math
+
+    return math.trunc(Fraction(a) / Fraction(b))
+
+
 def intdiv(a: ExprLike, b: ExprLike) -> Expr:
     """C-style truncating division, folded when both sides are constant."""
     ea, eb = _coerce(a), _coerce(b)
@@ -913,11 +954,7 @@ def intdiv(a: ExprLike, b: ExprLike) -> Expr:
     if isinstance(eb, Const) and eb.value == 0:
         return BOTTOM
     if isinstance(ea, Const) and isinstance(eb, Const):
-        q = ea.value / eb.value
-        # C semantics: truncate toward zero
-        import math
-
-        return const(math.trunc(q))
+        return const(trunc_div(ea.value, eb.value))
     if isinstance(eb, Const) and eb.value == 1:
         return ea
     return OpaqueTerm(OpaqueOp.FLOORDIV, (ea, eb))
@@ -931,9 +968,7 @@ def mod(a: ExprLike, b: ExprLike) -> Expr:
     if isinstance(eb, Const) and eb.value == 0:
         return BOTTOM
     if isinstance(ea, Const) and isinstance(eb, Const):
-        import math
-
-        q = math.trunc(ea.value / eb.value)
+        q = trunc_div(ea.value, eb.value)
         return const(ea.value - q * eb.value)
     return OpaqueTerm(OpaqueOp.MOD, (ea, eb))
 
@@ -1072,8 +1107,6 @@ def evaluate(e: Expr, env: Mapping[Atom, Number] | Mapping[Sym, Number]) -> Frac
     inside :class:`ArrayTerm` / :class:`OpaqueTerm` are resolved
     recursively when the atom itself is unbound.
     """
-    import math
-
     if isinstance(e, Const):
         return e.value
     if e.is_bottom or e.is_infinite:
@@ -1090,10 +1123,10 @@ def evaluate(e: Expr, env: Mapping[Atom, Number] | Mapping[Sym, Number]) -> Frac
             if e.op is OpaqueOp.FLOORDIV:
                 if vals[1] == 0:
                     raise SymbolicError("division by zero in evaluate")
-                return Fraction(math.trunc(vals[0] / vals[1]))
-            q = math.trunc(vals[0] / vals[1]) if vals[1] != 0 else 0
+                return trunc_div(vals[0], vals[1])
             if vals[1] == 0:
                 raise SymbolicError("mod by zero in evaluate")
+            q = trunc_div(vals[0], vals[1])
             return vals[0] - q * vals[1]
         raise SymbolicError(f"unbound atom {e} in evaluate")
     assert isinstance(e, Sum)

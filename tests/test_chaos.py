@@ -410,6 +410,70 @@ class TestDegradationLadder:
 
 
 # --------------------------------------------------------------------------
+# parallel-engine chaos
+# --------------------------------------------------------------------------
+
+
+class TestParallelEngineChaos:
+    """The third engine's rung of the ladder: an injected chunk or
+    shared-memory fault rolls the activation back, replays it serially
+    on the compiled closures, and the fallback is provenance-visible in
+    batch health."""
+
+    def _kernel(self):
+        from repro.corpus import all_kernels
+
+        return all_kernels()["par_private_branch"]
+
+    def test_worker_fault_recovers_exactly(self):
+        from repro.ir import build_function
+        from repro.runtime import run_function
+        from repro.runtime.engines import execute
+
+        k = self._kernel()
+        func = build_function(k.source)
+        env_ref = k.make_inputs(0)
+        run_function(func, env_ref)
+        env = k.make_inputs(0)
+        with faults.injected("engine.parallel.worker:*:1"):
+            execute(func, env, engine="parallel")
+        notes = faults.drain_fallback_notes()
+        assert [kind for kind, _ in notes] == ["engine:compiled"]
+        assert "FaultInjected" in notes[0][1]
+        for name, val in env_ref.items():
+            if isinstance(val, np.ndarray):
+                assert np.array_equal(val, env[name]), name
+
+    def test_parallel_fault_lands_in_batch_health(self):
+        from repro.service import validate_parallel_verdicts
+
+        k = self._kernel()
+        report = BatchEngine(jobs=1, cache=ResultCache()).run(
+            [AnalysisRequest(name=k.name, source=k.source)]
+        )
+        assert report.verdict(k.name).parallel_loops == ["L1"]
+        with faults.injected("engine.parallel.worker:*:1"):
+            problems = validate_parallel_verdicts(
+                report, seeds=(0,), engine="parallel"
+            )
+        assert problems == {}  # the serial replay is exact: no violation
+        assert report.health["fallbacks"] == {"engine:compiled": 1}
+        assert "engine:compiled" in report.render()
+
+    def test_parallel_kill_switch_in_validation(self, monkeypatch):
+        from repro.service import validate_parallel_verdicts
+
+        monkeypatch.setenv(faults.FALLBACK_ENV_VAR, "0")
+        k = self._kernel()
+        report = BatchEngine(jobs=1, cache=ResultCache()).run(
+            [AnalysisRequest(name=k.name, source=k.source)]
+        )
+        with faults.injected("engine.parallel.worker:*:1"):
+            with pytest.raises(faults.FaultInjected):
+                validate_parallel_verdicts(report, seeds=(0,), engine="parallel")
+
+
+# --------------------------------------------------------------------------
 # disk-cache chaos
 # --------------------------------------------------------------------------
 

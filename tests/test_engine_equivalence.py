@@ -1,12 +1,14 @@
-"""Differential engine equivalence: compiled backend vs the reference
-interpreter.
+"""Differential engine equivalence: compiled and parallel backends vs
+the reference interpreter.
 
-The compiled runtime (:mod:`repro.runtime.compiler`) is only trustworthy
-because this suite pins it to the interpreter's semantics on every fuzz
+The compiled runtime (:mod:`repro.runtime.compiler`) and the parallel
+runtime (:mod:`repro.runtime.parallel`) are only trustworthy because
+this suite pins them to the interpreter's semantics on every fuzz
 kernel and corpus kernel:
 
 * identical final environments after plain execution (every array, every
-  scalar);
+  scalar — including byte-identical float reduction results under the
+  parallel engine's chunked execution);
 * identical oracle results for **every** loop label: same
   independent/conflicting verdict, same iteration and access counts, and
   the same per-activation conflict *set* (order may differ — the
@@ -25,48 +27,59 @@ import pytest
 from repro.corpus import all_kernels
 from repro.ir import build_function
 from repro.runtime import check_loop_independence, execute, run_function
-from repro.workloads.generators import random_kernel
+
+#: every non-reference engine is pinned to the interpreter
+CANDIDATE_ENGINES = ("compiled", "parallel")
 
 
 def _copy_env(env):
     return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
 
 
-def _assert_env_equal(interp_env, compiled_env, context):
-    assert interp_env.keys() == compiled_env.keys(), context
+def _assert_env_equal(interp_env, other_env, context):
+    assert interp_env.keys() == other_env.keys(), context
     for name in interp_env:
-        a, b = interp_env[name], compiled_env[name]
+        a, b = interp_env[name], other_env[name]
         if isinstance(a, np.ndarray):
             assert np.array_equal(a, b), f"{context}: array {name} diverged"
         else:
-            assert a == b, f"{context}: scalar {name}: interp {a!r} vs compiled {b!r}"
+            assert a == b, f"{context}: scalar {name}: interp {a!r} vs {b!r}"
+
+
+def _assert_all_engines_equal(func, env, context):
+    env_i = _copy_env(env)
+    run_function(func, env_i)
+    for engine in CANDIDATE_ENGINES:
+        env_e = _copy_env(env)
+        execute(func, env_e, engine=engine)
+        _assert_env_equal(env_i, env_e, f"{context} [{engine}]")
 
 
 def _assert_oracle_equal(func, env, label, context):
     r1 = check_loop_independence(
         func, _copy_env(env), label, max_conflicts=1 << 30, engine="interp"
     )
-    r2 = check_loop_independence(
-        func, _copy_env(env), label, max_conflicts=1 << 30, engine="compiled"
-    )
-    ctx = f"{context} loop {label}"
-    assert r1.independent == r2.independent, ctx
-    assert r1.iterations == r2.iterations, ctx
-    assert r1.accesses_recorded == r2.accesses_recorded, ctx
-    assert len(r1.conflicts) == len(r2.conflicts), ctx
-    assert set(r1.conflicts) == set(r2.conflicts), ctx
+    for engine in CANDIDATE_ENGINES:
+        r2 = check_loop_independence(
+            func, _copy_env(env), label, max_conflicts=1 << 30, engine=engine
+        )
+        ctx = f"{context} loop {label} [{engine}]"
+        assert r1.independent == r2.independent, ctx
+        assert r1.iterations == r2.iterations, ctx
+        assert r1.accesses_recorded == r2.accesses_recorded, ctx
+        assert len(r1.conflicts) == len(r2.conflicts), ctx
+        assert set(r1.conflicts) == set(r2.conflicts), ctx
 
 
 def test_fuzz_engine_equivalence(fuzz_seed):
     """Outputs, verdicts, and conflict sets match on every fuzz kernel."""
+    from repro.workloads.generators import random_kernel
+
     rk = random_kernel(fuzz_seed)
     func = build_function(rk.source)
 
     env = rk.make_inputs(3000 + fuzz_seed)
-    env_i, env_c = _copy_env(env), _copy_env(env)
-    run_function(func, env_i)
-    execute(func, env_c, engine="compiled")
-    _assert_env_equal(env_i, env_c, f"fuzz{fuzz_seed}")
+    _assert_all_engines_equal(func, env, f"fuzz{fuzz_seed}")
 
     for lp in func.loops():
         _assert_oracle_equal(func, env, lp.label, f"fuzz{fuzz_seed}")
@@ -81,10 +94,7 @@ def test_corpus_engine_equivalence(name):
     func = build_function(k.source)
     for seed in (0, 5):
         env = k.make_inputs(seed)
-        env_i, env_c = _copy_env(env), _copy_env(env)
-        run_function(func, env_i)
-        execute(func, env_c, engine="compiled")
-        _assert_env_equal(env_i, env_c, name)
+        _assert_all_engines_equal(func, env, name)
         for lp in func.loops():
             _assert_oracle_equal(func, env, lp.label, name)
 
@@ -135,10 +145,7 @@ class TestMultiDimVectorPath:
     def test_multidim_outputs_and_traces_match_interpreter(self):
         func = build_function(self.SRC)
         env = self._env(64)
-        env_i, env_c = _copy_env(env), _copy_env(env)
-        run_function(func, env_i)
-        execute(func, env_c, engine="compiled")
-        _assert_env_equal(env_i, env_c, "multidim")
+        _assert_all_engines_equal(func, env, "multidim")
         for lp in func.loops():
             _assert_oracle_equal(func, env, lp.label, "multidim")
 
@@ -155,15 +162,13 @@ class TestMultiDimVectorPath:
             }
         }
         """
-        import pytest
-
         from repro.errors import InterpreterError
 
         func = build_function(src)
         msgs = []
-        for engine in ("interp", "compiled"):
+        for engine in ("interp", *CANDIDATE_ENGINES):
             env = {"n": 40, "a": np.zeros((40, 4), np.int64)}
             with pytest.raises(InterpreterError) as e:
                 execute(func, env, engine=engine)
             msgs.append(str(e.value))
-        assert msgs[0] == msgs[1]
+        assert len(set(msgs)) == 1, msgs

@@ -38,6 +38,9 @@ class TestInterpreterVsReference:
             "fig9_csr_product",
             "strict_mono_kernel",
             "histogram_serial",
+            "par_reduce_mix",
+            "par_private_branch",
+            "par_carried_serial",
         ],
     )
     @pytest.mark.parametrize("seed", [0, 1, 7])
