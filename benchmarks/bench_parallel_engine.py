@@ -14,6 +14,12 @@ CI runners):
   single-CPU host that claim is physically unavailable, so the test
   skips with the reason printed rather than asserting a number the
   hardware cannot produce.
+
+The persistent-fabric claim (PR 9) is also relative and therefore runs
+on *every* host with fork: a warm dispatch — pool already spawned,
+arena segments recycled, schedule cache hit — must cost less than half
+a cold one.  Unlike the speedup assert, this does not need a second
+CPU, only that reuse beats re-setup.
 """
 
 from __future__ import annotations
@@ -76,6 +82,26 @@ def test_parallel_overhead_envelope():
     t_compiled = best(lambda env: execute(func, env, engine="compiled"))
     t_parallel = best(lambda env: pf.run(env, workers=1))
     assert t_parallel < 3.0 * t_compiled, (t_parallel, t_compiled)
+
+
+def test_warm_dispatch_beats_cold_on_every_host():
+    """The fabric's whole point: after the first call, ``execute()``
+    pays neither fork nor shared-memory allocation nor schedule
+    lowering, so a warm dispatch must land under 0.5x the cold one.
+    This is a relative claim — it holds on 1-CPU runners too."""
+    if not HAVE_FORK:
+        pytest.skip("fabric dispatch needs the fork start method")
+    from repro.runtime.bench import measure_dispatch_overhead
+
+    d = measure_dispatch_overhead()
+    assert d is not None
+    print()
+    print(
+        f"dispatch overhead: cold {d['cold']:.0f} us -> warm {d['warm']:.0f} us "
+        f"(ratio {d['warm_over_cold']:.2f}, pool spawns {d['pool_spawns']})"
+    )
+    assert d["pool_spawns"] == 1, d  # ten warm calls reused one pool
+    assert d["warm"] < 0.5 * d["cold"], d
 
 
 def test_measured_cg_speedup_on_multicore():

@@ -124,6 +124,18 @@ def _execute_plans(args: argparse.Namespace) -> int:
         f"{c['inproc_chunks']} in-proc chunks, {c['mp_chunks']} mp chunks, "
         f"{c['serial_fallbacks']} serial fallbacks"
     )
+    if c["mp_chunks"]:
+        from repro.runtime import fabric_stats
+
+        fs = fabric_stats()
+        cost = fs["dispatch_cost_us"]
+        print(
+            f"fabric: {fs['pool_spawns']} pool spawn(s), "
+            f"{fs['dispatches']} dispatches ({fs['warm_dispatches']} warm), "
+            f"arena {fs['arena']['created']} segment(s) created / "
+            f"{fs['arena']['recycled']} recycled"
+            + (f", warm dispatch ~{cost:.0f} us" if cost else "")
+        )
     print("engines agree:", "yes" if agree else "NO")
     return 0 if agree else 1
 

@@ -114,6 +114,24 @@ class ParallelSchedule:
             bits.append("INVALID: " + "; ".join(self.problems))
         return " ".join(bits)
 
+    @staticmethod
+    def from_summary(d: dict) -> "ParallelSchedule":
+        """Rebuild a schedule from its :meth:`summary` dict — the wire
+        form the persistent worker fabric ships to pool workers (a
+        round-trip is exact: ``s.from_summary(s.summary()) == s``)."""
+        return ParallelSchedule(
+            label=d["label"],
+            var=d["var"],
+            step=d["step"],
+            private=tuple(d["private"]),
+            reductions=tuple(
+                ReductionSlot(r["name"], r["op"], r["identity"])
+                for r in d["reductions"]
+            ),
+            arrays_written=tuple(d["arrays_written"]),
+            problems=tuple(d["problems"]),
+        )
+
     def summary(self) -> dict:
         """Deterministic JSON-safe summary for service payloads."""
         return {

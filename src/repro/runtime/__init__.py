@@ -23,6 +23,7 @@ from repro.runtime.executor import (
     measure_oracle_throughput,
     measure_spmv_speedup,
 )
+from repro.runtime.fabric import fabric_stats, shutdown_fabric
 from repro.runtime.interpreter import Interpreter, run_function
 from repro.runtime.oracle import Conflict, OracleReport, check_loop_independence
 from repro.runtime.parallel import (
@@ -65,6 +66,7 @@ __all__ = [
     "default_engine",
     "default_workers",
     "execute",
+    "fabric_stats",
     "figure10_model",
     "measure_oracle_throughput",
     "measure_spmv_speedup",
@@ -73,5 +75,6 @@ __all__ = [
     "run_function",
     "run_parallel",
     "schedules_for",
+    "shutdown_fabric",
     "speedup_series",
 ]

@@ -23,6 +23,10 @@ Reading ``BENCH_runtime.json``:
 * ``kernels[*].execute`` — plain (untraced) execution, same layout;
 * ``fuzz_sweep`` — total seconds to oracle-check every loop of
   ``seeds`` random kernels per engine;
+* ``parallel_dispatch_overhead_us`` — cold vs warm cost of one
+  parallel dispatch through the persistent fabric (µs); ``warm`` must
+  stay under half of ``cold`` on every fork-capable host, including a
+  single-CPU runner where worker-scaling speedups are unmeasurable;
 * ``summary.oracle_geomean_speedup`` — the headline number tracked
   across PRs (acceptance floor for this PR: ≥ 5x).
 """
@@ -175,6 +179,53 @@ BENCH_KERNELS: dict[str, tuple[str, str, Callable[[int], dict[str, Any]]]] = {
 }
 
 
+def measure_dispatch_overhead(
+    size: int = 4096, repeats: int = 5
+) -> "dict[str, Any] | None":
+    """Cold-vs-warm cost of a parallel dispatch through the persistent
+    fabric — the ``parallel_dispatch_overhead_us`` section of
+    ``BENCH_runtime.json``.
+
+    *Cold* is the first parallel call of a process: schedule lowering,
+    pool fork, arena segment creation, worker-side closure compilation.
+    *Warm* is every later call: cached schedule, live pool, recycled
+    segments, cached worker closures.  Both run the same kernel at the
+    same size with 2 forced workers, so the ratio is meaningful on any
+    fork-capable host including a single-CPU runner — unlike a
+    worker-scaling speedup, which needs real cores.  Returns ``None``
+    where fork is unavailable."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    from repro.runtime import fabric
+    from repro.runtime.parallel import ParallelFunction, compile_parallel
+
+    func = build_function(_PAR_BRANCH_SRC)
+
+    def once(pf) -> float:  # noqa: ANN001
+        env = _par_branch_env(size)
+        t0 = time.perf_counter()
+        pf.run(env, workers=2)
+        return time.perf_counter() - t0
+
+    fabric.shutdown_fabric()  # next dispatch pays fork + arena + worker compile
+    t0 = time.perf_counter()
+    cold_pf = ParallelFunction(func)  # lowering is part of the cold price
+    cold = time.perf_counter() - t0 + once(cold_pf)
+    warm = min(once(compile_parallel(func)) for _ in range(max(1, repeats)))
+    stats = fabric.fabric_stats()
+    return {
+        "cold": round(cold * 1e6, 1),
+        "warm": round(warm * 1e6, 1),
+        "warm_over_cold": round(warm / cold, 4) if cold > 0 else 0.0,
+        "workers": 2,
+        "size": size,
+        "pool_spawns": stats["pool_spawns"],
+        "measured_dispatch_cost_us": round(stats["dispatch_cost_us"] or 0.0, 1),
+    }
+
+
 def _time_execute(func: Any, env_factory: Callable[[], dict[str, Any]], engine: str, repeats: int) -> float:
     from repro.runtime.engines import execute
 
@@ -265,6 +316,9 @@ def run_runtime_bench(
         par_speedups.append(max(entry["execute"]["parallel_speedup"], 1e-9))
         doc["kernels"].append(entry)
     doc["fuzz_sweep"] = _fuzz_sweep(fuzz_seeds)
+    doc["parallel_dispatch_overhead_us"] = measure_dispatch_overhead() or {
+        "skipped": "no fork start method on this host"
+    }
     doc["summary"] = {
         "oracle_geomean_speedup": round(
             math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
@@ -273,6 +327,9 @@ def run_runtime_bench(
         else 0.0,
         "fuzz_sweep_speedup": doc["fuzz_sweep"]["speedup"],
         "parallel_execute_best_speedup": max(par_speedups, default=0.0),
+        "parallel_warm_dispatch_over_cold": doc["parallel_dispatch_overhead_us"].get(
+            "warm_over_cold"
+        ),
     }
     return doc
 
@@ -333,6 +390,16 @@ def check_regression(doc: dict[str, Any], min_speedup: float = 1.0) -> list[str]
             problems.append(f"{entry['name']}: engines disagree on the oracle verdict")
     if not doc["fuzz_sweep"]["verdicts_agree"]:
         problems.append("fuzz sweep: engine verdicts disagree")
+    overhead = doc.get("parallel_dispatch_overhead_us") or {}
+    if overhead.get("cold") and overhead.get("warm") is not None:
+        # relative, so it holds on any fork-capable host: a warm
+        # dispatch must skip enough (fork, shm creation, lowering) to
+        # cost well under half a cold one
+        if overhead["warm"] >= 0.5 * overhead["cold"]:
+            problems.append(
+                f"parallel dispatch: warm {overhead['warm']}us >= 0.5x cold "
+                f"{overhead['cold']}us — the persistent fabric is not amortizing"
+            )
     return problems
 
 
@@ -382,6 +449,16 @@ def render(doc: dict[str, Any]) -> str:
         + (" — single cpu, >1x not expected" if host["cpu_count"] < 2 else "")
         + ")"
     )
+    overhead = doc.get("parallel_dispatch_overhead_us") or {}
+    if overhead.get("cold"):
+        lines.append(
+            f"parallel dispatch: cold {overhead['cold'] / 1e3:.1f} ms -> warm "
+            f"{overhead['warm'] / 1e3:.1f} ms "
+            f"({overhead['warm_over_cold']:.2f}x of cold; persistent fabric, "
+            f"{overhead['workers']} workers)"
+        )
+    elif overhead:
+        lines.append(f"parallel dispatch: {overhead.get('skipped', 'not measured')}")
     return "\n".join(lines)
 
 
@@ -393,6 +470,7 @@ __all__ = [
     "BENCH_KERNELS",
     "COMMAND",
     "check_regression",
+    "measure_dispatch_overhead",
     "render",
     "run_runtime_bench",
     "to_json",

@@ -13,8 +13,10 @@ Three engines execute the mini-C IR:
 * ``"parallel"`` — :mod:`repro.runtime.parallel`: the compiled engine
   plus real parallel execution of every loop the planner proves
   PARALLEL, through a validated :class:`~repro.parallelizer.schedule.
-  ParallelSchedule` (chunked in-process or ``multiprocessing`` over
-  shared memory).  Serial loops and unvalidated schedules run on the
+  ParallelSchedule` (chunked in-process, or dispatched to the
+  persistent worker fabric over recycled shared-memory segments — see
+  :mod:`repro.runtime.fabric`; warm calls pay neither fork nor segment
+  allocation).  Serial loops and unvalidated schedules run on the
   compiled closures; results are byte-identical to sequential execution
   by construction.
 
@@ -65,10 +67,16 @@ def execute(
     env: dict[str, Any],
     engine: "str | None" = None,
     max_steps: int = 50_000_000,
+    workers: "int | None" = None,
+    mp_min_trips: "int | None" = None,
 ) -> dict[str, Any]:
     """Run ``func`` over ``env`` (arrays modified in place) on the
     selected engine.  Results are engine-independent by construction —
-    the equivalence suite pins this.
+    the equivalence suite pins this.  ``workers`` / ``mp_min_trips``
+    tune the parallel engine only (pool width and the trip-count
+    threshold for a fabric dispatch; both are ignored by the serial
+    engines, which is safe precisely because results are
+    engine-independent).
 
     Degradation ladder: an *internal* failure of the parallel engine
     (any exception that is not a :class:`~repro.errors.ReproError`)
@@ -98,7 +106,13 @@ def execute(
         from repro.runtime.parallel import run_parallel
 
         try:
-            return run_parallel(func, env, max_steps=max_steps)
+            return run_parallel(
+                func,
+                env,
+                max_steps=max_steps,
+                workers=workers,
+                mp_min_trips=mp_min_trips,
+            )
         except ReproError:
             raise  # a verdict about the program, not an engine bug
         except Exception as exc:  # noqa: BLE001 — engine bug: degrade, don't die

@@ -13,11 +13,18 @@ scheduled loop picks one of two strategies:
   and for short trip counts, and is what the differential fuzz suite
   exercises on every seed: chunking, privatization, and the reduction
   event fold all run even where forking would never pay off.
-* **multiprocessing over shared memory** — for long activations with
-  ``workers >= 2``, arrays move into ``multiprocessing.shared_memory``
-  segments, a fork-started process pool inherits the compiled closures
-  plus the array views, and each worker executes whole chunks against
-  the shared segments.
+* **multiprocessing over the persistent fabric** — for long
+  activations with ``workers >= 2``, arrays move into shared-memory
+  segments *leased from the process-wide arena* and chunks are
+  dispatched to the process-wide worker pool
+  (:mod:`repro.runtime.fabric`).  The warm path pays neither fork nor
+  segment allocation: the pool survives across ``execute()`` calls and
+  the arena recycles its segments, so a steady-state workload only
+  pays copy-in/copy-out plus task pickling.  Workers rebuild chunk
+  closures from the task's shipped source text + schedule summary and
+  cache them by content fingerprint (inheriting closures through fork
+  only works for a pool created after the arrays moved — i.e. a pool
+  per call, which is exactly the overhead this design removes).
 
 Sequential semantics are preserved *byte-identically*:
 
@@ -42,14 +49,18 @@ Sequential semantics are preserved *byte-identically*:
 
 Fault sites: ``engine.parallel.worker`` fires at chunk dispatch (keyed
 by function name), ``engine.parallel.shm`` fires during shared-memory
-setup — both land on the compiled serial rung of the ladder.
+setup, ``engine.parallel.arena`` fires at segment lease time, and
+``engine.parallel.pool_reuse`` fires when a *warm* pool is about to be
+reused (the injected failure also invalidates the pool, so recovery
+exercises respawn-on-death) — all land on the compiled serial rung of
+the ladder.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable
 
@@ -60,6 +71,7 @@ from repro.ir.nodes import IRFunction, IVar, SAssign, SLoop
 from repro.parallelizer.planner import plan_function
 from repro.parallelizer.privatization import reduction_update
 from repro.parallelizer.schedule import ParallelSchedule, derive_schedule
+from repro.runtime import fabric as _fabric
 from repro.runtime.compiler import (
     RunStats,
     TraceBuffer,
@@ -67,6 +79,7 @@ from repro.runtime.compiler import (
     _Compiler,
     _Rt,
 )
+from repro.runtime.perf_model import MP_MIN_TRIPS_CEILING, min_parallel_trips
 
 #: reserved environment keys (never valid mini-C identifiers)
 PAR_KEY = "__par.run__"
@@ -75,9 +88,12 @@ _CLB = "__par.chunk.lb__"
 _CUB = "__par.chunk.ub__"
 _RESERVED = (PAR_KEY, _RED_KEY, _CLB, _CUB)
 
-#: below this trip count a fork dispatch cannot amortize its overhead;
-#: the in-process chunked strategy runs instead.
-MP_MIN_TRIPS = 256
+#: compatibility ceiling on the dispatch threshold: below this trip
+#: count the in-process chunked strategy runs unless a *measured* warm
+#: dispatch cost says the fabric is cheap enough (see
+#: :func:`repro.runtime.perf_model.min_parallel_trips` — measurement
+#: can lower the threshold, never raise it above this ceiling).
+MP_MIN_TRIPS = MP_MIN_TRIPS_CEILING
 
 _WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -353,96 +369,111 @@ def _chunks_inproc(
 
 
 # --------------------------------------------------------------------------
-# the multiprocessing strategy
+# the multiprocessing strategy (persistent fabric)
 # --------------------------------------------------------------------------
 
-#: state inherited by fork-started pool workers (set before the pool is
-#: created): the run environment with shared-memory array views, plus
-#: the chunk runners and private lists per scheduled label.
-_WORKER_STATE: dict[str, Any] = {}
 
+def _build_chunk_runner(
+    source: str, fn_name: str, label: str, summary: dict
+) -> tuple[Callable[[dict, _Rt], Any], tuple[str, ...]]:
+    """Rebuild one loop's chunk closure from its shipped form.
 
-def _worker_chunk(task: tuple) -> tuple:
-    """Execute one chunk in a pool worker.  Arrays are shared-memory
-    views inherited through fork; scalars arrive with the task.  Errors
-    return tagged rather than raising so the parent can classify them
-    without losing the pool."""
-    label, t_lb, t_ub, scalars, budget = task
-    env = _WORKER_STATE["env"]
-    env.update(scalars)
-    env[_CLB] = t_lb
-    env[_CUB] = t_ub
-    events: list = []
-    env[_RED_KEY] = events
-    rt = _Rt(None, None, budget)
-    try:
-        _WORKER_STATE["runners"][label](env, rt)
-    except BaseException as exc:  # noqa: BLE001 — classified by the parent
-        return ("err", type(exc).__name__, str(exc), _is_program_error(exc))
-    priv = {p: env[p] for p in _WORKER_STATE["privates"][label] if p in env}
-    return ("ok", events, priv, rt.steps)
+    Fabric workers call this (once per content fingerprint, cached) to
+    turn ``(function source text, schedule summary)`` back into the
+    same chunk runner the parent lowered: the IR round-trips through
+    the printer/parser deterministically, so the rebuilt closures
+    compute byte-identical results."""
+    from repro.ir import build_function
+
+    func = build_function(source, fn_name)
+    sched = ParallelSchedule.from_summary(summary).validate()
+    loop = next((l for l in func.loops() if l.label == label), None)
+    if loop is None or loop.var != sched.var:
+        raise InterpreterError(
+            f"shipped schedule for loop {label!r} does not match the "
+            f"rebuilt function {fn_name!r}"
+        )
+    cc = _ChunkCompiler(func, sched)
+    chunk = cc._loop(
+        SLoop(
+            var=loop.var,
+            lb=IVar(_CLB),
+            ub=IVar(_CUB),
+            step=loop.step,
+            body=loop.body,
+            label=label + "@chunk",
+        )
+    )
+    return chunk, sched.private
 
 
 class _ParRun:
-    """Per-:func:`run_parallel` state: worker pool, shared-memory
-    segments, and dispatch counters."""
+    """Per-:func:`run_parallel` state: leased shared-memory segments
+    and dispatch counters.  The worker pool itself is *not* per-run —
+    it lives in :mod:`repro.runtime.fabric` and survives across runs."""
 
-    def __init__(self, func_name: str, workers: int, pf: "ParallelFunction") -> None:
+    def __init__(
+        self,
+        func_name: str,
+        workers: int,
+        pf: "ParallelFunction",
+        mp_min_trips: "int | None" = None,
+    ) -> None:
         self.func_name = func_name
         self.workers = workers
         self.pf = pf
-        self.mp_min_trips = max(MP_MIN_TRIPS, 4 * workers)
+        if mp_min_trips is not None:
+            self.mp_min_trips = max(1, mp_min_trips)
+        else:
+            self.mp_min_trips = max(
+                min_parallel_trips(_fabric.dispatch_cost_us(workers)),
+                4 * workers,
+            )
         self.mp_disabled = (
             workers < 2 or "fork" not in multiprocessing.get_all_start_methods()
         )
-        self.pool: ProcessPoolExecutor | None = None
         self._shm: list = []  # (original_array, shm_view, segment)
         self._orig_of: dict[int, np.ndarray] = {}
+        self._array_spec: dict[str, tuple] = {}  # name -> (seg name, shape, dtype)
         self.counters = {
             "parallel_activations": 0,
             "inproc_chunks": 0,
             "mp_chunks": 0,
             "serial_fallbacks": 0,
+            "pool_spawns": 0,
         }
 
     def ensure_pool(self, env: dict) -> None:
-        """Lazily move arrays into shared memory and fork the pool; on
-        any failure, undo the moves and disable mp for this run."""
-        if self.pool is not None:
+        """Lazily lease arena segments for the arrays and rebind the
+        environment to the shared views; on any failure, undo the moves
+        and disable mp for this run.  (Kept under its historical name:
+        the *pool* half is now the fabric's job and happens at first
+        dispatch.)"""
+        if self._shm:
             return
         from repro.service import faults
 
         faults.maybe_fail("engine.parallel.shm", self.func_name)
+        arena = _fabric.arena()
         try:
-            seen: dict[int, np.ndarray] = {}
+            seen: dict[int, tuple] = {}
             for name in sorted(
                 k for k, v in env.items() if isinstance(v, np.ndarray)
             ):
                 arr = env[name]
-                view = seen.get(id(arr))
-                if view is None:
-                    from multiprocessing import shared_memory
-
-                    seg = shared_memory.SharedMemory(
-                        create=True, size=max(int(arr.nbytes), 1)
-                    )
+                hit = seen.get(id(arr))
+                if hit is None:
+                    faults.maybe_fail("engine.parallel.arena", self.func_name)
+                    seg = arena.lease(arr.nbytes)
                     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
                     view[...] = arr
-                    seen[id(arr)] = view
+                    hit = (view, seg)
+                    seen[id(arr)] = hit
                     self._shm.append((arr, view, seg))
                     self._orig_of[id(view)] = arr
+                view, seg = hit
                 env[name] = view
-            _WORKER_STATE["env"] = env
-            _WORKER_STATE["runners"] = {
-                lbl: sl.chunk for lbl, sl in self.pf.scheduled.items()
-            }
-            _WORKER_STATE["privates"] = {
-                lbl: sl.sched.private for lbl, sl in self.pf.scheduled.items()
-            }
-            self.pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-            )
+                self._array_spec[name] = (seg.name, view.shape, str(view.dtype))
         except Exception:
             self.mp_disabled = True
             self._release(env)
@@ -451,44 +482,54 @@ class _ParRun:
     def dispatch(
         self, sl: _ScheduledLoop, env: dict, rt: _Rt, lb: int, m: int
     ) -> tuple[list, dict, int]:
-        """Fan the chunks out and collect results in chunk order.  The
-        first chunk error (in sequential order) wins; the caller rolls
-        back and replays serially either way."""
+        """Fan the chunks out over the fabric and collect results in
+        chunk order.  The first chunk error (in sequential order) wins;
+        the caller rolls back and replays serially either way."""
+        from repro.service import faults
+
+        fab = _fabric.get_fabric(self.workers)
+        if fab.warm and faults.fires("engine.parallel.pool_reuse", self.func_name):
+            # simulate discovering a dead pool at reuse time: drop it
+            # (the next dispatch respawns) and fail this activation
+            fab.invalidate()
+            raise faults.FaultInjected(
+                f"injected fault at engine.parallel.pool_reuse for "
+                f"{self.func_name!r}"
+            )
         chunks = ParallelSchedule.chunks(m, self.workers)
         scalars = {
             k: v
             for k, v in env.items()
-            if not isinstance(v, np.ndarray) and k != PAR_KEY
+            if not isinstance(v, np.ndarray) and k not in _RESERVED
         }
         budget = rt.max_steps - rt.steps
-        assert self.pool is not None
+        header = self.pf.task_headers[sl.label]
+        spawned_before = fab.stats["pool_spawns"]
         try:
-            futures = [
-                self.pool.submit(
-                    _worker_chunk,
-                    (
-                        sl.label,
+            results = fab.dispatch(
+                [
+                    header
+                    + (
                         lb + first * sl.step,
                         lb + (first + count) * sl.step,
                         scalars,
+                        self._array_spec,
                         budget,
-                    ),
-                )
-                for first, count in chunks
-            ]
-            results = [f.result() for f in futures]
+                    )
+                    for first, count in chunks
+                ]
+            )
         except BrokenProcessPool as exc:
             self.mp_disabled = True
-            pool, self.pool = self.pool, None
-            pool.shutdown(wait=False, cancel_futures=True)
             raise _ChunkError(False, "BrokenProcessPool", str(exc)) from exc
+        self.counters["pool_spawns"] += fab.stats["pool_spawns"] - spawned_before
         events: list = []
         last_priv: dict = {}
         steps = 0
         for res in results:
             if res[0] == "err":
                 raise _ChunkError(res[3], res[1], res[2])
-            _, ev, priv, st = res
+            _, ev, priv, st, _secs = res
             events.extend(ev)
             last_priv = priv
             steps += st
@@ -496,36 +537,28 @@ class _ParRun:
         return events, last_priv, steps
 
     def teardown(self, env: dict) -> None:
-        if self.pool is not None:
-            self.pool.shutdown(wait=True, cancel_futures=True)
-            self.pool = None
         self._release(env)
 
     def _release(self, env: dict) -> None:
         """Copy shared-memory contents back into the original arrays,
-        restore the environment bindings, and free the segments."""
-        _WORKER_STATE.clear()
+        restore the environment bindings, and return the segments to
+        the arena (recycled, not unlinked — the fabric's ``atexit``
+        teardown unlinks)."""
         if not self._shm:
             return
         for name, val in list(env.items()):
             orig = self._orig_of.get(id(val))
             if orig is not None:
                 env[name] = orig
-        segments = []
-        for orig, view, seg in self._shm:
-            orig[...] = view
-            segments.append(seg)
-        self._shm.clear()
+        arena = _fabric.arena()
+        moved = self._shm
+        self._shm = []
         self._orig_of.clear()
-        for seg in segments:
-            try:
-                seg.close()
-            except BufferError:  # a stray view still exports the buffer
-                pass
-            try:
-                seg.unlink()
-            except FileNotFoundError:
-                pass
+        self._array_spec.clear()
+        for orig, view, seg in moved:
+            orig[...] = view
+            del view
+            arena.release(seg)
 
 
 # --------------------------------------------------------------------------
@@ -533,12 +566,39 @@ class _ParRun:
 # --------------------------------------------------------------------------
 
 
+def _function_fingerprint(func: IRFunction, assertions=None) -> str:
+    """Content fingerprint of everything that determines the lowered
+    parallel form: the pass-pipeline identity (PR 6's recipe — a domain
+    version bump must invalidate cached schedules), the printed IR
+    text, the loop labels (not part of the printed text), the symbol
+    table, and the planner's initial assertions."""
+    from repro.analysis.domains import default_domains
+    from repro.analysis.framework import _symtab_fingerprint, pipeline_identity
+    from repro.ir import function_to_c
+
+    h = hashlib.sha256()
+    for part in (
+        pipeline_identity(default_domains()),
+        func.name,
+        function_to_c(func),
+        ",".join(l.label for l in func.loops()),
+        _symtab_fingerprint(func),
+        assertions.fingerprint() if assertions is not None else "",
+    ):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
 class ParallelFunction:
     """One IR function planned, scheduled, and lowered for the parallel
     engine; reusable across runs (like :class:`CompiledFunction`)."""
 
-    def __init__(self, func: IRFunction, assertions=None) -> None:
+    def __init__(
+        self, func: IRFunction, assertions=None, fingerprint: "str | None" = None
+    ) -> None:
         self.func = func
+        self.fingerprint = fingerprint or _function_fingerprint(func, assertions)
         plan = plan_function(
             func, method="extended", initial_env=assertions, annotate=False
         )
@@ -560,6 +620,22 @@ class ParallelFunction:
         self.array_names: list[str] = [
             n for n, _ in sorted(c.array_ids.items(), key=lambda kv: kv[1])
         ]
+        #: what a fabric worker needs to rebuild (and cache) each
+        #: scheduled loop's chunk closure: content key + source text +
+        #: schedule summary, prepended to every task tuple
+        from repro.ir import function_to_c
+
+        source_text = function_to_c(func)
+        self.task_headers: dict[str, tuple] = {
+            lbl: (
+                (self.fingerprint, lbl),
+                source_text,
+                func.name,
+                lbl,
+                sl.sched.summary(),
+            )
+            for lbl, sl in self.scheduled.items()
+        }
         self.last_stats: RunStats | None = None
         self.last_counters: dict[str, int] | None = None
 
@@ -573,15 +649,19 @@ class ParallelFunction:
         observe_label: str | None = None,
         max_steps: int = 50_000_000,
         workers: "int | None" = None,
+        mp_min_trips: "int | None" = None,
     ) -> dict[str, Any]:
         """Execute over ``env`` (arrays modified in place), scheduled
         loops distributed over ``workers`` (default
-        :func:`default_workers`)."""
+        :func:`default_workers`).  ``mp_min_trips`` overrides the
+        dispatch threshold (measured by default) — validation harnesses
+        lower it to push even small kernels through the fabric."""
         rt = _Rt(trace, observe_label, max_steps)
         run = _ParRun(
             self.func.name,
             workers if workers and workers >= 1 else default_workers(),
             self,
+            mp_min_trips=mp_min_trips,
         )
         env[PAR_KEY] = run
         try:
@@ -594,19 +674,39 @@ class ParallelFunction:
         return env
 
 
-_PCACHE: dict[int, tuple[IRFunction, Any, ParallelFunction]] = {}
-_PCACHE_LIMIT = 256
+# Content-addressed schedule + closure cache: keyed by the same
+# fingerprint recipe PR 6 uses for nest summaries, so an edited
+# function, a different symbol table, different planner assertions, or
+# a pass-pipeline version bump each miss — while the same source
+# re-parsed into a *new* IR object still hits (the old id()-keyed cache
+# missed there, re-lowering on every ``execute`` in service traffic).
+# Registered as a memo table so cold benchmarks stay honest.
+_PF_CACHE: dict[str, ParallelFunction] = {}
+_PF_CACHE_LIMIT = 256
+
+
+def _register_pf_cache() -> None:
+    from repro.symbolic.expr import register_memo_table
+
+    register_memo_table(
+        "parallel.functions", _PF_CACHE.__len__, _PF_CACHE.clear
+    )
+
+
+_register_pf_cache()
 
 
 def compile_parallel(func: IRFunction, assertions=None) -> ParallelFunction:
-    """Plan + schedule + lower ``func`` (memoized per function object)."""
-    hit = _PCACHE.get(id(func))
-    if hit is not None and hit[0] is func and hit[1] is assertions:
-        return hit[2]
-    pf = ParallelFunction(func, assertions)
-    if len(_PCACHE) >= _PCACHE_LIMIT:
-        _PCACHE.clear()
-    _PCACHE[id(func)] = (func, assertions, pf)
+    """Plan + schedule + lower ``func`` (memoized by content
+    fingerprint — see :func:`_function_fingerprint`)."""
+    fp = _function_fingerprint(func, assertions)
+    hit = _PF_CACHE.get(fp)
+    if hit is not None:
+        return hit
+    pf = ParallelFunction(func, assertions, fingerprint=fp)
+    if len(_PF_CACHE) >= _PF_CACHE_LIMIT:
+        _PF_CACHE.clear()
+    _PF_CACHE[fp] = pf
     return pf
 
 
@@ -624,12 +724,13 @@ def run_parallel(
     max_steps: int = 50_000_000,
     workers: "int | None" = None,
     assertions=None,
+    mp_min_trips: "int | None" = None,
 ) -> dict[str, Any]:
     """Convenience wrapper: compile for parallel execution (cached) and
     run.  Identical observable semantics to :func:`run_compiled` — the
     engine-equivalence suite pins this against the interpreter."""
     return compile_parallel(func, assertions).run(
-        env, trace, observe_label, max_steps, workers
+        env, trace, observe_label, max_steps, workers, mp_min_trips
     )
 
 

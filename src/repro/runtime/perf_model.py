@@ -30,6 +30,50 @@ from dataclasses import dataclass, field
 
 from repro.workloads.npb_cg import CG_CLASSES, CGClass
 
+# --------------------------------------------------------------------------
+# dispatch-cost chunk sizing (the parallel engine's mp threshold)
+# --------------------------------------------------------------------------
+
+#: The pre-fabric static threshold: with a cold pool per call, a fork
+#: dispatch could not amortize below this trip count.  With the
+#: persistent fabric this becomes a *ceiling* — a measured warm
+#: dispatch cost may lower the threshold, never raise it (the
+#: equivalence and chaos suites rely on the mp path engaging
+#: predictably at this trip count).
+MP_MIN_TRIPS_CEILING = 256
+
+#: Never dispatch below this many trips, however cheap the fabric
+#: measures: task pickling + event collection have a floor of their own.
+MP_MIN_TRIPS_FLOOR = 64
+
+#: Warm dispatch overhead may cost at most this fraction of the chunk
+#: body time before dispatching stops being worth it.
+DISPATCH_OVERHEAD_BUDGET = 0.25
+
+#: Ballpark per-trip cost of the compiled closures on the dev host —
+#: only the *ratio* to the measured dispatch cost matters here.
+EST_TRIP_COST_US = 0.6
+
+
+def min_parallel_trips(
+    dispatch_cost_us: "float | None",
+    per_trip_us: float = EST_TRIP_COST_US,
+    floor: int = MP_MIN_TRIPS_FLOOR,
+    ceiling: int = MP_MIN_TRIPS_CEILING,
+) -> int:
+    """Trip-count threshold for a multiprocessing dispatch, from the
+    fabric's measured warm dispatch overhead.
+
+    The threshold is the trip count at which the measured overhead is
+    :data:`DISPATCH_OVERHEAD_BUDGET` of the estimated body time,
+    clamped to ``[floor, ceiling]``.  ``None`` (nothing measured yet —
+    the first dispatch of a process) returns the static ceiling,
+    i.e. exactly the historical ``MP_MIN_TRIPS`` behaviour."""
+    if dispatch_cost_us is None:
+        return ceiling
+    trips = dispatch_cost_us / (DISPATCH_OVERHEAD_BUDGET * per_trip_us)
+    return int(max(floor, min(ceiling, trips)))
+
 
 @dataclass(frozen=True)
 class MachineModel:

@@ -289,6 +289,20 @@ class BatchReport:
                 "fallbacks taken: "
                 + ", ".join(f"{k} x{n}" for k, n in sorted(h["fallbacks"].items()))
             )
+        if h.get("fabric"):
+            f = h["fabric"]
+            lines.append(
+                f"parallel fabric: {f['pool_spawns']} pool spawn(s), "
+                f"{f['dispatches']} dispatches ({f['warm_dispatches']} warm), "
+                f"{f['segments_created']} segment(s) created / "
+                f"{f['segments_recycled']} recycled across "
+                f"{f['kernels_executed']} kernel(s)"
+                + (
+                    " — fabric reused"
+                    if f["pool_spawns"] <= 1 and f["dispatches"] > 1
+                    else ""
+                )
+            )
         for d in h.get("oracle_downgrades", ()):
             lines.append(
                 f"VALIDATION DOWNGRADED [{d['name']}]: loop {d['loop']} -> "
@@ -812,6 +826,26 @@ class BatchEngine:
 # --------------------------------------------------------------------------
 
 
+def _parallel_exec_opts() -> dict:
+    """Tuning for validation-time parallel executes: on fork-capable
+    hosts, force at least 2 workers and a low dispatch threshold so
+    even the small corpus kernels genuinely cross the persistent
+    fabric (pool reuse, arena leasing, worker-side closure caches) —
+    with defaults, a 1-CPU host would silently validate only the
+    in-process path.  Byte-identical semantics make the forced width
+    safe; capping at 4 keeps validation cheap on big hosts."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return {}
+    from repro.runtime.parallel import default_workers
+
+    return {
+        "workers": max(2, min(default_workers(), 4)),
+        "mp_min_trips": 16,
+    }
+
+
 def _execute_parallel_vs_interp(func, kernel, seed: int, max_steps: int) -> list[str]:  # noqa: ANN001
     """Run one kernel on the reference interpreter and the parallel
     engine and describe any divergence (final environments must match
@@ -832,7 +866,9 @@ def _execute_parallel_vs_interp(func, kernel, seed: int, max_steps: int) -> list
 
     env_ref, err_ref = outcome(lambda e: run_function(func, e, max_steps=max_steps))
     env_par, err_par = outcome(
-        lambda e: execute(func, e, engine="parallel", max_steps=max_steps)
+        lambda e: execute(
+            func, e, engine="parallel", max_steps=max_steps, **_parallel_exec_opts()
+        )
     )
     mismatches: list[str] = []
     if err_ref != err_par:
@@ -900,6 +936,13 @@ def validate_parallel_verdicts(
     health = getattr(report, "health", None)
     if health is not None:
         faults.drain_fallback_notes()  # count only this validation's fallbacks
+    par_engine = resolve_engine(engine) == "parallel"
+    fabric_before = None
+    if par_engine:
+        from repro.runtime import fabric
+
+        fabric_before = fabric.fabric_stats()
+    executed_kernels = 0
     problems: dict[str, list[str]] = {}
     for v in report.verdicts:
         if not v.ok or not v.parallel_loops:
@@ -941,7 +984,8 @@ def validate_parallel_verdicts(
                         f"loop {label} declared parallel but conflicts on "
                         f"seed {seed}: {rep.conflicts[0].describe()}"
                     )
-        if resolve_engine(engine) == "parallel":
+        if par_engine:
+            executed_kernels += 1
             for seed in seeds:
                 mismatches = _execute_parallel_vs_interp(
                     func, kernel, seed, max_steps
@@ -951,6 +995,25 @@ def validate_parallel_verdicts(
     if health is not None:
         for kind, _detail in faults.drain_fallback_notes():
             health["fallbacks"][kind] = health["fallbacks"].get(kind, 0) + 1
+        if par_engine and executed_kernels:
+            # one fabric across every kernel executed above: spawns in
+            # the delta beyond the first (or zero) mean the pool was
+            # NOT reused — surfaced so `repro batch --engine parallel`
+            # makes amortization (or its absence) visible
+            from repro.runtime import fabric
+
+            after = fabric.fabric_stats()
+            health["fabric"] = {
+                "kernels_executed": executed_kernels,
+                "pool_spawns": after["pool_spawns"] - fabric_before["pool_spawns"],
+                "dispatches": after["dispatches"] - fabric_before["dispatches"],
+                "warm_dispatches": after["warm_dispatches"]
+                - fabric_before["warm_dispatches"],
+                "segments_created": after["arena"]["created"]
+                - fabric_before["arena"]["created"],
+                "segments_recycled": after["arena"]["recycled"]
+                - fabric_before["arena"]["recycled"],
+            }
     return problems
 
 

@@ -11,7 +11,8 @@ A *fault plan* is a list of rules ``site:glob[:times]``:
 * ``site`` — one of :data:`SITES` (``worker.crash``, ``worker.hang``,
   ``worker.transient``, ``worker.error``, ``analysis.passes``,
   ``engine.compiled``, ``engine.parallel.worker``,
-  ``engine.parallel.shm``, ``oracle.timeout``, ``cache.write``,
+  ``engine.parallel.shm``, ``engine.parallel.pool_reuse``,
+  ``engine.parallel.arena``, ``oracle.timeout``, ``cache.write``,
   ``cache.corrupt``);
 * ``glob`` — an ``fnmatch`` pattern over the site's key (a kernel or
   cache-key name); defaults to ``*``;
@@ -66,6 +67,8 @@ SITES = {
     "engine.compiled": "fail the compiled runtime engine (ladder: interp)",
     "engine.parallel.worker": "fail a parallel-engine chunk dispatch (ladder: compiled serial replay)",
     "engine.parallel.shm": "fail parallel-engine shared-memory setup (ladder: compiled serial replay)",
+    "engine.parallel.pool_reuse": "fail reuse of a warm fabric pool (ladder: serial replay, pool respawns on next dispatch)",
+    "engine.parallel.arena": "fail a shared-memory arena segment lease (ladder: compiled serial replay)",
     "oracle.timeout": "time out an oracle check (verdict downgrades to unknown)",
     "cache.write": "raise OSError while writing a disk-cache entry",
     "cache.corrupt": "truncate the bytes written for a disk-cache entry",

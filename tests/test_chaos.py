@@ -473,6 +473,109 @@ class TestParallelEngineChaos:
                 validate_parallel_verdicts(report, seeds=(0,), engine="parallel")
 
 
+HAVE_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="fabric chaos sites need the fork start method"
+)
+
+
+class TestFabricChaos:
+    """PR 9's persistent-fabric rungs: a warm pool that dies at reuse
+    time and an arena segment lease that fails both degrade to the
+    byte-identical serial replay, the fabric respawns on the next
+    dispatch, and the fallback lands in batch health."""
+
+    def _kernel(self):
+        from repro.corpus import all_kernels
+
+        return all_kernels()["par_private_branch"]
+
+    def _execute(self, func, env):
+        from repro.runtime.engines import execute
+
+        # small corpus kernel: force the multiprocess fabric path
+        execute(func, env, engine="parallel", workers=2, mp_min_trips=8)
+
+    @needs_fork
+    def test_pool_reuse_fault_replays_serially_and_respawns(self):
+        from repro.ir import build_function
+        from repro.runtime import fabric, run_function
+        from repro.runtime.parallel import compile_parallel
+
+        k = self._kernel()
+        func = build_function(k.source)
+        env_ref = k.make_inputs(0)
+        run_function(func, env_ref)
+        with faults.injected("engine.parallel.pool_reuse:*:1"):
+            env = k.make_inputs(0)
+            self._execute(func, env)  # cold dispatch: site arms, can't fire
+            assert faults.drain_fallback_notes() == []
+            base = fabric.fabric_stats()
+            env = k.make_inputs(0)
+            self._execute(func, env)  # warm reuse: fault fires
+        notes = faults.drain_fallback_notes()
+        assert [kind for kind, _ in notes] == ["engine:compiled"]
+        assert "pool_reuse" in notes[0][1]
+        for name, val in env_ref.items():
+            if isinstance(val, np.ndarray):
+                assert val.tobytes() == env[name].tobytes(), name
+        # the faulted pool was dropped; the next execute respawns it
+        env = k.make_inputs(0)
+        self._execute(func, env)
+        assert compile_parallel(func).last_counters["mp_chunks"] > 0
+        stats = fabric.fabric_stats()
+        assert stats["respawns"] - base["respawns"] == 1
+        assert faults.drain_fallback_notes() == []
+
+    @needs_fork
+    def test_arena_fault_replays_serially(self):
+        from repro.ir import build_function
+        from repro.runtime import run_function
+
+        k = self._kernel()
+        func = build_function(k.source)
+        env_ref = k.make_inputs(0)
+        run_function(func, env_ref)
+        with faults.injected("engine.parallel.arena:*:1"):
+            env = k.make_inputs(0)
+            self._execute(func, env)
+        notes = faults.drain_fallback_notes()
+        assert [kind for kind, _ in notes] == ["engine:compiled"]
+        assert "arena" in notes[0][1]
+        for name, val in env_ref.items():
+            if isinstance(val, np.ndarray):
+                assert val.tobytes() == env[name].tobytes(), name
+
+    @needs_fork
+    def test_pool_reuse_fault_lands_in_batch_health(self):
+        from repro.service import validate_parallel_verdicts
+
+        k = self._kernel()
+        report = BatchEngine(jobs=1, cache=ResultCache()).run(
+            [AnalysisRequest(name=k.name, source=k.source)]
+        )
+        # seed 0 warms the pool; the site fires on seed 1's warm reuse
+        with faults.injected("engine.parallel.pool_reuse:*:1"):
+            problems = validate_parallel_verdicts(
+                report, seeds=(0, 1), engine="parallel"
+            )
+        assert problems == {}  # the serial replay is exact: no violation
+        assert report.health["fallbacks"] == {"engine:compiled": 1}
+        assert "engine:compiled" in report.render()
+
+    @needs_fork
+    def test_pool_reuse_kill_switch(self, monkeypatch):
+        from repro.ir import build_function
+
+        k = self._kernel()
+        func = build_function(k.source)
+        self._execute(func, k.make_inputs(0))  # warm the pool first
+        monkeypatch.setenv(faults.FALLBACK_ENV_VAR, "0")
+        with faults.injected("engine.parallel.pool_reuse:*:1"):
+            with pytest.raises(faults.FaultInjected):
+                self._execute(func, k.make_inputs(0))
+
+
 # --------------------------------------------------------------------------
 # disk-cache chaos
 # --------------------------------------------------------------------------

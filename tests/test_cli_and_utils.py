@@ -120,6 +120,7 @@ class TestCli:
             "ranges.subst",
             "compare.prover",
             "framework.nest",
+            "parallel.functions",
         }
 
     def test_bench_analysis_check_catches_regression(self):

@@ -142,6 +142,7 @@ class TestMemoHygiene:
         "ranges.subst",
         "compare.prover",
         "framework.nest",
+        "parallel.functions",
     }
 
     def test_cold_run_reports_zero_entries_everywhere(self):
