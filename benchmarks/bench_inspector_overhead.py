@@ -1,64 +1,128 @@
-"""TAB-INSPECT — compile-time analysis vs inspector/executor overhead.
+"""TAB-INSPECT — the real runtime inspector vs its alternatives.
 
 The paper's Related Work argues runtime schemes' "Achilles' heel is the
-significant overhead of the inserted inspection code".  This harness
-quantifies that on Figure 9: an inspector/executor scheme must trace the
-loop's accesses (our dynamic oracle is exactly such an inspector) on
-*every input* before executing in parallel, while the compile-time
-verdict costs one analysis at build time and nothing at run time.
+significant overhead of the inserted inspection code".  Before PR 10
+this harness used the dynamic oracle as a stand-in for such an
+inspector; now the hybrid tier has a *real* one
+(:mod:`repro.runtime.inspector`): vectorized NumPy predicates over the
+actual index-array values, content-addressed by the index arrays'
+byte fingerprints.  The honest head-to-head is therefore three-way:
+
+* **compile-time (this paper)** — one static analysis per program,
+  zero per-input cost, but leaves ``unknown`` verdicts serial;
+* **runtime inspector (hybrid tier)** — a *cold* inspection lowers the
+  access algebra and evaluates the predicates once per sparsity
+  structure; every later call with the same structure is one content
+  hash (a *fingerprint-warm* memo hit);
+* **full oracle trace** — what a naive inspector/executor pays: trace
+  every access of every input before parallel execution.
+
+The gates are relative (host-independent) and mirror
+``repro bench --check``: warm < 0.1x cold, and warm < 0.01x the full
+oracle trace.
 """
 
 from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.ir import build_function
 from repro.parallelizer import parallelize
-from repro.runtime import ENGINES, check_loop_independence, execute
+from repro.runtime import check_loop_independence
+from repro.runtime.bench import measure_inspector_overhead
 from repro.utils.tables import Table
 
 
-def test_inspector_vs_compile_time(benchmark, kernels):
+def _require_vectorized_inspector():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover — numpy is a hard dep of repro
+        pytest.skip(
+            "the runtime inspector's predicates are vectorized NumPy "
+            "reductions; no NumPy on this host means no inspection"
+        )
+
+
+def test_inspector_cold_warm_oracle(benchmark):
+    """Cold inspection, fingerprint-warm inspection, and the full oracle
+    trace on the Figure-9-style CSR kernel (rowptr as an *input*, so the
+    static verdict is genuinely unknown and the inspector decides)."""
+    _require_vectorized_inspector()
+    d = measure_inspector_overhead(size=20000)
+    assert d is not None
+    assert d["parallel"], "the monotone CSR rowptr must pass inspection"
+    assert d["warm_cached"], "repeat inspections must hit the memo"
+
+    # benchmark the steady state the service actually runs in: the
+    # content hash + memo hit
+    from repro.runtime import inspector
+    from repro.runtime.parallel import _function_fingerprint
+    from repro.runtime.bench import _CSR_INPUT_SRC, _csr_input_env
+
+    func = build_function(_CSR_INPUT_SRC)
+    loop = next(lp for lp in func.loops() if lp.label == "L1")
+    plan = inspector.lower_inspector(func, loop)
+    env = _csr_input_env(20000)
+    fp = _function_fingerprint(func)
+    res = benchmark(lambda: inspector.inspect(plan, env, fp, 0, 20000))
+    assert res.parallel and res.cached
+
+    t = Table(
+        ["path", "cost", "paid"],
+        title="Runtime inspection, amortized (Figure-9 CSR, unknown verdict)",
+    )
+    t.add_row("inspector, cold", f"{d['cold'] / 1e3:.2f} ms", "once per sparsity structure")
+    t.add_row(
+        "inspector, fingerprint-warm",
+        f"{d['warm'] / 1e3:.3f} ms ({d['amortization']:.0f}x amortized)",
+        "every later call",
+    )
+    t.add_row("full oracle trace", f"{d['oracle_trace'] / 1e3:.1f} ms", "every input")
+    print()
+    print(t.render())
+
+    # the `repro bench --check` gates, asserted here so CI sees them
+    # even without regenerating BENCH_runtime.json
+    assert d["warm"] < 0.1 * d["cold"], d
+    assert d["warm"] < 0.01 * d["oracle_trace"], d
+
+
+def test_inspector_vs_compile_time(kernels):
+    """Where the static stack *can* decide (the corpus Figure 9 kernel),
+    compile-time analysis still wins outright: one analysis per program
+    vs a per-structure inspection — the paper's original argument,
+    preserved with the real inspector in the comparison."""
+    _require_vectorized_inspector()
     k = kernels["fig9_csr_product"]
     func = build_function(k.source)
 
-    # compile-time: one-off analysis cost
     t0 = time.perf_counter()
     out = parallelize(k.source)
     compile_cost = time.perf_counter() - t0
     assert k.target_loop in out.parallel_loops
 
-    # runtime inspector: per-input tracing cost vs plain execution,
-    # measured on both engines (the compiled backend narrows but cannot
-    # remove the gap — inspection is inherently per input)
-    def inspect_once(engine="compiled"):
-        env = k.make_inputs(0)
-        return check_loop_independence(func, env, k.target_loop, engine=engine)
-
-    report = benchmark(inspect_once)
-    assert report.independent
+    t0 = time.perf_counter()
+    rep = check_loop_independence(
+        func, k.make_inputs(0), k.target_loop, engine="compiled"
+    )
+    trace_cost = time.perf_counter() - t0
+    assert rep.independent
 
     t = Table(
         ["approach", "per-input overhead", "amortization"],
-        title="Compile-time analysis vs inspector/executor (Figure 9 kernel)",
+        title="Compile-time analysis vs runtime schemes (Figure 9 kernel)",
     )
     t.add_row(
         "compile-time (this paper)",
         "0 (one-off %.1f ms)" % (compile_cost * 1e3),
         "once per program",
     )
-    for engine in ENGINES:
-        t0 = time.perf_counter()
-        execute(func, k.make_inputs(0), engine=engine)
-        plain = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        rep = inspect_once(engine)
-        inspected = time.perf_counter() - t0
-        assert rep.independent
-        t.add_row(
-            f"inspector/executor ({engine})",
-            f"{max(inspected - plain, 0.0) * 1e3:.1f} ms (+{(inspected / plain - 1) * 100 if plain > 0 else 0:.0f}%)",
-            "every input",
-        )
+    t.add_row(
+        "full oracle trace",
+        f"{trace_cost * 1e3:.1f} ms",
+        "every input",
+    )
     print()
     print(t.render())

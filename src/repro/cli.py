@@ -6,8 +6,10 @@ Usage::
                                 [--execute [--size N] [--workers W]]
     python -m repro analyze FILE.c [--vars a,b,c]
     python -m repro explain LOOP (FILE.c | --kernel NAME) [--method extended]
+    python -m repro inspect LOOP (FILE.c | --kernel NAME) [--size N] [--seed S]
     python -m repro batch [FILES...] [--jobs N] [--cache-dir DIR] [--json PATH]
-                          [--validate] [--timeout S] [--max-failures N] [--faults PLAN]
+                          [--validate] [--tier hybrid] [--timeout S]
+                          [--max-failures N] [--faults PLAN]
     python -m repro bench [--json PATH] [--size N] [--check]
     python -m repro bench --analysis [--json PATH] [--check]
     python -m repro figure1
@@ -18,10 +20,14 @@ Usage::
 provenance chain behind one loop's verdict (which statements established
 each index-array property, which rule derived it, how the dependence
 test used it — e.g. ``repro explain L2 kernel.c`` or ``repro explain L2
---kernel inv_perm_scatter``); ``batch`` runs the cached, parallel batch
-engine over the built-in corpus and/or user C files (see
+--kernel inv_perm_scatter``); ``inspect`` lowers one unknown-verdict
+loop to a runtime inspector plan and evaluates it on synthesized (or
+corpus) inputs, printing the predicate-level outcome (exit 0: dispatches
+parallel, 1: stays serial, 2: error); ``batch`` runs the cached,
+parallel batch engine over the built-in corpus and/or user C files (see
 :mod:`repro.service`) with optional dynamic-oracle validation of the
-PARALLEL verdicts; ``bench`` measures the runtime engines (interp vs
+PARALLEL verdicts (``--tier hybrid`` validates the runtime-inspected
+dispatch tier too); ``bench`` measures the runtime engines (interp vs
 compiled, see :mod:`repro.runtime.bench`) and writes
 ``BENCH_runtime.json``, or with ``--analysis`` measures the static
 analyzer's cold corpus sweep (see :mod:`repro.analysis.bench`) and
@@ -187,6 +193,78 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_inspect(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.ir import build_function
+    from repro.runtime import run_function
+    from repro.runtime.parallel import compile_parallel
+
+    if args.kernel is not None:
+        from repro.corpus import all_kernels
+
+        kernels = all_kernels()
+        if args.kernel not in kernels:
+            print(f"error: unknown corpus kernel {args.kernel!r}", file=sys.stderr)
+            return 2
+        k = kernels[args.kernel]
+        source, assertions = k.source, k.assertion_env()
+        make_inputs = k.make_inputs
+    elif args.file is not None:
+        source, assertions, make_inputs = _read(args.file), None, None
+    else:
+        print("error: give a FILE or --kernel NAME", file=sys.stderr)
+        return 2
+    func = build_function(source, args.function)
+    if not any(lp.label == args.loop for lp in func.loops()):
+        labels = ", ".join(lp.label for lp in func.loops())
+        print(f"error: no loop {args.loop!r} (loops: {labels})", file=sys.stderr)
+        return 2
+    pf = compile_parallel(func, assertions, tier="hybrid")
+    if args.loop in pf.scheduled and args.loop not in pf.inspectors:
+        print(f"{args.loop}: statically PARALLEL — no runtime inspection needed")
+        print("schedule:", pf.schedules[args.loop].describe())
+        return 0
+    if args.loop not in pf.inspectors:
+        sched = pf.schedules.get(args.loop)
+        if sched is not None and not sched.ok:
+            print(f"{args.loop}: serial — schedule failed validation")
+            for p in sched.problems:
+                print(f"  - {p}")
+        else:
+            from repro.parallelizer.planner import plan_function
+
+            plan = plan_function(func, method="extended", initial_env=assertions)
+            lp = plan.loops.get(args.loop)
+            reason = lp.reason if lp is not None else "no plan derived"
+            print(f"{args.loop}: serial — not an inspector candidate ({reason})")
+        return 1
+    plan = pf.inspectors[args.loop]
+    print("inspector plan:", plan.describe())
+    if make_inputs is not None:
+        env = make_inputs(args.seed)
+    else:
+        env = _synth_inputs(func, args.size, args.seed)
+    ref = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+    run_function(func, ref)
+    pf.run(env, workers=args.workers, inspect_min_trips=1)
+    res = pf.last_inspections.get(args.loop)
+    if res is None:
+        print(f"{args.loop}: loop did not activate on these inputs (0 trips?)")
+        return 1
+    print(res.describe())
+    agree = all(
+        np.array_equal(env[k], ref[k])
+        if isinstance(ref[k], np.ndarray)
+        else env[k] == ref[k]
+        for k in ref
+    )
+    print("engines agree:", "yes" if agree else "NO")
+    if not agree:
+        return 2
+    return 0 if res.parallel else 1
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import (
         BatchEngine,
@@ -197,6 +275,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     if args.engine and not args.validate:
         print("error: --engine only applies to --validate", file=sys.stderr)
+        return 2
+    if args.tier == "hybrid" and not args.validate:
+        print("error: --tier hybrid only applies to --validate", file=sys.stderr)
+        return 2
+    if args.tier == "hybrid" and args.engine != "parallel":
+        print(
+            "error: --tier hybrid needs --engine parallel (the hybrid tier "
+            "is a parallel-engine dispatch mode)",
+            file=sys.stderr,
+        )
         return 2
     requests = []
     if args.corpus or not args.files:
@@ -237,7 +325,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.validate:
             from repro.service import validate_parallel_verdicts
 
-            problems = validate_parallel_verdicts(report, engine=args.engine)
+            problems = validate_parallel_verdicts(
+                report, engine=args.engine, tier=args.tier
+            )
             if problems:
                 for name, msgs in sorted(problems.items()):
                     for msg in msgs:
@@ -417,6 +507,24 @@ def make_parser() -> argparse.ArgumentParser:
     e.add_argument("--method", default="extended", choices=["gcd", "banerjee", "range", "extended"])
     e.set_defaults(fn=cmd_explain)
 
+    i = sub.add_parser(
+        "inspect",
+        help="lower one unknown-verdict loop to a runtime inspector and evaluate it",
+    )
+    i.add_argument("loop", help="loop label (e.g. L2)")
+    i.add_argument("file", nargs="?", default=None, help="mini-C source file")
+    i.add_argument("--kernel", default=None, help="inspect a built-in corpus kernel instead of a file")
+    i.add_argument("--function", default=None, help="function name (default: the only one)")
+    i.add_argument("--size", type=int, default=4096, help="synthesized problem size (default 4096)")
+    i.add_argument("--seed", type=int, default=0, help="input seed (default 0)")
+    i.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the dispatch (default: $REPRO_WORKERS or cpu count)",
+    )
+    i.set_defaults(fn=cmd_inspect)
+
     b = sub.add_parser("batch", help="batch-analyze a corpus with caching + workers")
     b.add_argument("files", nargs="*", help="mini-C source files (default: built-in corpus)")
     b.add_argument("--corpus", action="store_true", help="include the built-in corpus even when files are given")
@@ -457,6 +565,14 @@ def make_parser() -> argparse.ArgumentParser:
         help="runtime engine for --validate (default: $REPRO_ENGINE or "
         "compiled; 'parallel' additionally executes each validated kernel "
         "on the parallel engine against the interpreter)",
+    )
+    b.add_argument(
+        "--tier",
+        default="static",
+        choices=["static", "hybrid"],
+        help="parallel-engine dispatch tier for --validate --engine parallel "
+        "(hybrid also runs unknown-verdict loops through the runtime "
+        "inspector; default static)",
     )
     b.set_defaults(fn=cmd_batch)
 

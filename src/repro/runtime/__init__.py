@@ -24,9 +24,17 @@ from repro.runtime.executor import (
     measure_spmv_speedup,
 )
 from repro.runtime.fabric import fabric_stats, shutdown_fabric
+from repro.runtime.inspector import (
+    InspectionResult,
+    InspectorPlan,
+    inspect,
+    inspector_stats,
+    lower_inspector,
+)
 from repro.runtime.interpreter import Interpreter, run_function
 from repro.runtime.oracle import Conflict, OracleReport, check_loop_independence
 from repro.runtime.parallel import (
+    TIERS,
     ParallelFunction,
     compile_parallel,
     default_workers,
@@ -49,6 +57,8 @@ __all__ = [
     "Conflict",
     "DEFAULT_ENGINE",
     "ENGINES",
+    "InspectionResult",
+    "InspectorPlan",
     "Interpreter",
     "MachineModel",
     "MeasuredPoint",
@@ -57,6 +67,7 @@ __all__ = [
     "OracleReport",
     "ParallelFunction",
     "RunStats",
+    "TIERS",
     "TraceBuffer",
     "cg_time",
     "characterize",
@@ -68,6 +79,9 @@ __all__ = [
     "execute",
     "fabric_stats",
     "figure10_model",
+    "inspect",
+    "inspector_stats",
+    "lower_inspector",
     "measure_oracle_throughput",
     "measure_spmv_speedup",
     "resolve_engine",

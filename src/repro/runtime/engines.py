@@ -69,12 +69,16 @@ def execute(
     max_steps: int = 50_000_000,
     workers: "int | None" = None,
     mp_min_trips: "int | None" = None,
+    tier: "str | None" = None,
+    inspect_min_trips: "int | None" = None,
 ) -> dict[str, Any]:
     """Run ``func`` over ``env`` (arrays modified in place) on the
     selected engine.  Results are engine-independent by construction —
-    the equivalence suite pins this.  ``workers`` / ``mp_min_trips``
-    tune the parallel engine only (pool width and the trip-count
-    threshold for a fabric dispatch; both are ignored by the serial
+    the equivalence suite pins this.  ``workers`` / ``mp_min_trips`` /
+    ``tier`` / ``inspect_min_trips`` tune the parallel engine only
+    (pool width, the trip-count threshold for a fabric dispatch, the
+    static-vs-hybrid dispatch tier, and the hybrid tier's
+    inspection-amortization threshold; all are ignored by the serial
     engines, which is safe precisely because results are
     engine-independent).
 
@@ -112,6 +116,8 @@ def execute(
                 max_steps=max_steps,
                 workers=workers,
                 mp_min_trips=mp_min_trips,
+                tier=tier,
+                inspect_min_trips=inspect_min_trips,
             )
         except ReproError:
             raise  # a verdict about the program, not an engine bug

@@ -54,10 +54,29 @@ setup, ``engine.parallel.arena`` fires at segment lease time, and
 reused (the injected failure also invalidates the pool, so recovery
 exercises respawn-on-death) — all land on the compiled serial rung of
 the ladder.
+
+**Dispatch tiers.**  The default ``"static"`` tier executes exactly the
+loops the planner *proves* parallel.  The ``"hybrid"`` tier adds the
+static → inspector → executor pipeline of ROADMAP direction 3: loops
+whose verdict is *unknown* (the dependence was not refuted — never
+loops rejected for loop-carried scalars) additionally carry an
+:class:`~repro.runtime.inspector.InspectorPlan` lowered from the same
+access algebra the static tests consume.  At dispatch time the
+activation first passes the ``inspect_min_trips`` amortization gate
+(measured, bounded, monotone-safe — see
+:func:`~repro.runtime.perf_model.min_inspect_trips`), then the
+content-addressed inspection itself; only a *passing* inspection lets
+the activation onto the parallel strategies, through the same validated
+schedule machinery as the static tier.  A refusing, unevaluable, or
+faulted inspection (sites ``engine.inspector.cache`` /
+``engine.inspector.predicate``) runs the loop serially — a wrong
+parallel dispatch is impossible by construction, only a slow serial
+one.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
@@ -72,6 +91,7 @@ from repro.parallelizer.planner import plan_function
 from repro.parallelizer.privatization import reduction_update
 from repro.parallelizer.schedule import ParallelSchedule, derive_schedule
 from repro.runtime import fabric as _fabric
+from repro.runtime import inspector as _inspector
 from repro.runtime.compiler import (
     RunStats,
     TraceBuffer,
@@ -79,7 +99,15 @@ from repro.runtime.compiler import (
     _Compiler,
     _Rt,
 )
-from repro.runtime.perf_model import MP_MIN_TRIPS_CEILING, min_parallel_trips
+from repro.runtime.perf_model import (
+    MP_MIN_TRIPS_CEILING,
+    min_inspect_trips,
+    min_parallel_trips,
+)
+
+#: dispatch tiers of this engine: ``"static"`` executes proven-parallel
+#: loops only; ``"hybrid"`` adds runtime-inspected unknown-verdict loops
+TIERS = ("static", "hybrid")
 
 #: reserved environment keys (never valid mini-C identifiers)
 PAR_KEY = "__par.run__"
@@ -178,7 +206,7 @@ class _ChunkCompiler(_Compiler):
 class _ScheduledLoop:
     """Everything one scheduled loop needs at dispatch time."""
 
-    __slots__ = ("label", "sched", "serial", "chunk", "var", "step", "cost")
+    __slots__ = ("label", "sched", "serial", "chunk", "var", "step", "cost", "inspector")
 
     def __init__(
         self,
@@ -189,6 +217,7 @@ class _ScheduledLoop:
         var: str,
         step: int,
         cost: int,
+        inspector: "_inspector.InspectorPlan | None" = None,
     ) -> None:
         self.label = label
         self.sched = sched
@@ -197,15 +226,22 @@ class _ScheduledLoop:
         self.var = var
         self.step = step
         self.cost = cost
+        self.inspector = inspector
 
 
 class _ParCompiler(_Compiler):
     """The compiled engine plus a dispatch wrapper around every loop
     that carries a validated schedule."""
 
-    def __init__(self, func: IRFunction, schedules: dict[str, ParallelSchedule]) -> None:
+    def __init__(
+        self,
+        func: IRFunction,
+        schedules: dict[str, ParallelSchedule],
+        inspectors: "dict[str, _inspector.InspectorPlan] | None" = None,
+    ) -> None:
         super().__init__(func)
         self.schedules = schedules
+        self.inspectors = inspectors or {}
         self.scheduled: dict[str, _ScheduledLoop] = {}
 
     def _loop(self, s: SLoop) -> Callable[[dict, _Rt], Any]:
@@ -225,7 +261,14 @@ class _ParCompiler(_Compiler):
             )
         )
         sl = _ScheduledLoop(
-            s.label, sched, serial, chunk, s.var, s.step, len(s.body) + 1
+            s.label,
+            sched,
+            serial,
+            chunk,
+            s.var,
+            s.step,
+            len(s.body) + 1,
+            inspector=self.inspectors.get(s.label),
         )
         self.scheduled[s.label] = sl
         lbf = self.expr(s.lb)
@@ -254,9 +297,44 @@ class _ParCompiler(_Compiler):
                 return serial(env, rt)  # budget trips mid-loop: serial raises exactly
             if any(name not in env for name in red_names):
                 return serial(env, rt)  # unbound reduction scalar: exact serial error
+            if sl.inspector is not None and not _inspect_gate(sl, run, env, lb, m):
+                return serial(env, rt)  # hybrid tier: not proven safe at runtime
             return _run_scheduled(sl, run, env, rt, lb, m)
 
         return par_loop
+
+
+def _inspect_gate(
+    sl: _ScheduledLoop, run: "_ParRun", env: dict, lb: int, m: int
+) -> bool:
+    """Hybrid-tier dispatch gate: the activation must be long enough to
+    amortize an inspection (``inspect_min_trips``), and the inspection
+    must *pass*.  A refusal, an unevaluable predicate, or a fault at one
+    of the inspector sites all answer False — the loop runs serially,
+    never wrongly in parallel."""
+    from repro.service import faults
+
+    if m < run.inspect_min_trips:
+        run.counters["inspection_skips"] += 1
+        return False
+    run.counters["inspections"] += 1
+    try:
+        res = _inspector.inspect(sl.inspector, env, run.pf.fingerprint, lb, m)
+    except Exception as exc:  # noqa: BLE001 — inspector fault/bug: serial
+        if not faults.fallbacks_enabled():
+            raise
+        faults.note_fallback(
+            "inspector:serial",
+            f"{run.func_name}:{sl.label}: {type(exc).__name__}: {exc}",
+        )
+        run.counters["inspection_fallbacks"] += 1
+        return False
+    run.pf.last_inspections[sl.label] = res
+    if res.parallel:
+        run.counters["inspection_passes"] += 1
+        return True
+    run.counters["inspection_refusals"] += 1
+    return False
 
 
 # --------------------------------------------------------------------------
@@ -418,6 +496,7 @@ class _ParRun:
         workers: int,
         pf: "ParallelFunction",
         mp_min_trips: "int | None" = None,
+        inspect_min_trips: "int | None" = None,
     ) -> None:
         self.func_name = func_name
         self.workers = workers
@@ -429,6 +508,10 @@ class _ParRun:
                 min_parallel_trips(_fabric.dispatch_cost_us(workers)),
                 4 * workers,
             )
+        if inspect_min_trips is not None:
+            self.inspect_min_trips = max(1, inspect_min_trips)
+        else:
+            self.inspect_min_trips = min_inspect_trips(_inspector.inspect_cost_us())
         self.mp_disabled = (
             workers < 2 or "fork" not in multiprocessing.get_all_start_methods()
         )
@@ -441,6 +524,11 @@ class _ParRun:
             "mp_chunks": 0,
             "serial_fallbacks": 0,
             "pool_spawns": 0,
+            "inspections": 0,
+            "inspection_skips": 0,
+            "inspection_passes": 0,
+            "inspection_refusals": 0,
+            "inspection_fallbacks": 0,
         }
 
     def ensure_pool(self, env: dict) -> None:
@@ -595,9 +683,14 @@ class ParallelFunction:
     engine; reusable across runs (like :class:`CompiledFunction`)."""
 
     def __init__(
-        self, func: IRFunction, assertions=None, fingerprint: "str | None" = None
+        self,
+        func: IRFunction,
+        assertions=None,
+        fingerprint: "str | None" = None,
+        tier: str = "static",
     ) -> None:
         self.func = func
+        self.tier = tier
         self.fingerprint = fingerprint or _function_fingerprint(func, assertions)
         plan = plan_function(
             func, method="extended", initial_env=assertions, annotate=False
@@ -613,8 +706,51 @@ class ParallelFunction:
             if node is None:
                 continue
             self.schedules[label] = derive_schedule(node, lp, func.symtab)
-        executable = {lbl: s for lbl, s in self.schedules.items() if s.ok}
-        c = _ParCompiler(func, executable)
+        #: hybrid tier: inspector plans by loop label — each paired with
+        #: a validator-approved schedule that only dispatches after the
+        #: runtime inspection passes
+        self.inspectors: dict[str, _inspector.InspectorPlan] = {}
+        #: most recent run's inspection results by loop label
+        self.last_inspections: dict[str, _inspector.InspectionResult] = {}
+        hybrid_labels: set[str] = set()
+        if tier == "hybrid":
+            chosen = [lbl for lbl, s in self.schedules.items() if s.ok]
+            for label, lp in plan.loops.items():
+                # candidates: the static verdict is *unknown* — a real
+                # dependence test ran and came back inconclusive (scalar
+                # analysis clean, dependence summary present but not
+                # proven) — never a loop with a proven/structural refusal
+                if lp.parallel or lp.dependence is None:
+                    continue
+                if lp.scalars is None or not lp.scalars.ok:
+                    continue
+                node = loops_by_label.get(label)
+                if node is None:
+                    continue
+                if any(label.startswith(anc + ".") for anc in chosen):
+                    continue  # an ancestor already dispatches this loop
+                hlp = dataclasses.replace(
+                    lp, parallel=True, reason="hybrid: pending runtime inspection"
+                )
+                sched = derive_schedule(node, hlp, func.symtab)
+                self.schedules[label] = sched
+                hybrid_labels.add(label)
+                if not sched.ok:
+                    continue  # invalid ⇒ serial, problems kept for provenance
+                insp = _inspector.lower_inspector(func, node)
+                if not insp.supported:
+                    continue
+                self.inspectors[label] = insp
+                chosen.append(label)
+        # a hybrid schedule is executable only with its inspector gate
+        # in front — an unsupported lowering stays serial (never an
+        # uninspected parallel dispatch)
+        executable = {
+            lbl: s
+            for lbl, s in self.schedules.items()
+            if s.ok and (lbl not in hybrid_labels or lbl in self.inspectors)
+        }
+        c = _ParCompiler(func, executable, self.inspectors)
         self._body = c.block(func.body)
         self.scheduled = c.scheduled
         self.array_names: list[str] = [
@@ -650,18 +786,23 @@ class ParallelFunction:
         max_steps: int = 50_000_000,
         workers: "int | None" = None,
         mp_min_trips: "int | None" = None,
+        inspect_min_trips: "int | None" = None,
     ) -> dict[str, Any]:
         """Execute over ``env`` (arrays modified in place), scheduled
         loops distributed over ``workers`` (default
         :func:`default_workers`).  ``mp_min_trips`` overrides the
         dispatch threshold (measured by default) — validation harnesses
-        lower it to push even small kernels through the fabric."""
+        lower it to push even small kernels through the fabric.
+        ``inspect_min_trips`` likewise overrides the hybrid tier's
+        inspection-amortization threshold."""
         rt = _Rt(trace, observe_label, max_steps)
+        self.last_inspections = {}
         run = _ParRun(
             self.func.name,
             workers if workers and workers >= 1 else default_workers(),
             self,
             mp_min_trips=mp_min_trips,
+            inspect_min_trips=inspect_min_trips,
         )
         env[PAR_KEY] = run
         try:
@@ -675,13 +816,14 @@ class ParallelFunction:
 
 
 # Content-addressed schedule + closure cache: keyed by the same
-# fingerprint recipe PR 6 uses for nest summaries, so an edited
-# function, a different symbol table, different planner assertions, or
-# a pass-pipeline version bump each miss — while the same source
-# re-parsed into a *new* IR object still hits (the old id()-keyed cache
-# missed there, re-lowering on every ``execute`` in service traffic).
+# fingerprint recipe PR 6 uses for nest summaries plus the dispatch
+# tier, so an edited function, a different symbol table, different
+# planner assertions, a pass-pipeline version bump, or a tier switch
+# each miss — while the same source re-parsed into a *new* IR object
+# still hits (the old id()-keyed cache missed there, re-lowering on
+# every ``execute`` in service traffic).
 # Registered as a memo table so cold benchmarks stay honest.
-_PF_CACHE: dict[str, ParallelFunction] = {}
+_PF_CACHE: dict[tuple[str, str], ParallelFunction] = {}
 _PF_CACHE_LIMIT = 256
 
 
@@ -696,17 +838,23 @@ def _register_pf_cache() -> None:
 _register_pf_cache()
 
 
-def compile_parallel(func: IRFunction, assertions=None) -> ParallelFunction:
-    """Plan + schedule + lower ``func`` (memoized by content
-    fingerprint — see :func:`_function_fingerprint`)."""
+def compile_parallel(
+    func: IRFunction, assertions=None, tier: str = "static"
+) -> ParallelFunction:
+    """Plan + schedule + lower ``func`` for the given dispatch ``tier``
+    (memoized by content fingerprint × tier — see
+    :func:`_function_fingerprint`)."""
+    if tier not in TIERS:
+        raise ValueError(f"unknown dispatch tier {tier!r}; expected one of {TIERS}")
     fp = _function_fingerprint(func, assertions)
-    hit = _PF_CACHE.get(fp)
+    key = (fp, tier)
+    hit = _PF_CACHE.get(key)
     if hit is not None:
         return hit
-    pf = ParallelFunction(func, assertions, fingerprint=fp)
+    pf = ParallelFunction(func, assertions, fingerprint=fp, tier=tier)
     if len(_PF_CACHE) >= _PF_CACHE_LIMIT:
         _PF_CACHE.clear()
-    _PF_CACHE[fp] = pf
+    _PF_CACHE[key] = pf
     return pf
 
 
@@ -725,18 +873,28 @@ def run_parallel(
     workers: "int | None" = None,
     assertions=None,
     mp_min_trips: "int | None" = None,
+    tier: "str | None" = None,
+    inspect_min_trips: "int | None" = None,
 ) -> dict[str, Any]:
     """Convenience wrapper: compile for parallel execution (cached) and
     run.  Identical observable semantics to :func:`run_compiled` — the
-    engine-equivalence suite pins this against the interpreter."""
-    return compile_parallel(func, assertions).run(
-        env, trace, observe_label, max_steps, workers, mp_min_trips
+    engine-equivalence suite pins this against the interpreter, for
+    both the ``static`` and ``hybrid`` tiers."""
+    return compile_parallel(func, assertions, tier=tier or "static").run(
+        env,
+        trace,
+        observe_label,
+        max_steps,
+        workers,
+        mp_min_trips,
+        inspect_min_trips=inspect_min_trips,
     )
 
 
 __all__ = [
     "MP_MIN_TRIPS",
     "PAR_KEY",
+    "TIERS",
     "ParallelFunction",
     "compile_parallel",
     "default_workers",

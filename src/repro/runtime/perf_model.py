@@ -75,6 +75,49 @@ def min_parallel_trips(
     return int(max(floor, min(ceiling, trips)))
 
 
+# --------------------------------------------------------------------------
+# inspection-cost trip sizing (the hybrid tier's third gating column)
+# --------------------------------------------------------------------------
+
+#: Static ceiling for the hybrid tier's inspection gate: with no cost
+#: measured yet, a runtime inspection only happens for activations with
+#: at least this many trips.  A *measured* inspection cost may lower the
+#: threshold, never raise it — the same bounded, monotone-safe rule as
+#: :data:`MP_MIN_TRIPS_CEILING`.
+INSPECT_MIN_TRIPS_CEILING = 512
+
+#: Never inspect below this many trips, however cheap a fingerprint-warm
+#: inspection measures: the content hash itself has a floor of its own.
+INSPECT_MIN_TRIPS_FLOOR = 16
+
+#: A (cold) inspection may cost at most this fraction of the estimated
+#: loop body time before inspecting stops being worth it.
+INSPECT_OVERHEAD_BUDGET = 0.25
+
+
+def min_inspect_trips(
+    inspect_cost_us: "float | None",
+    per_trip_us: float = EST_TRIP_COST_US,
+    floor: int = INSPECT_MIN_TRIPS_FLOOR,
+    ceiling: int = INSPECT_MIN_TRIPS_CEILING,
+) -> int:
+    """Trip-count threshold for a runtime inspection, from the
+    inspector's measured (EWMA) cold cost — the third column of the
+    dispatch model, beside :func:`min_parallel_trips`:
+
+    * ``None`` (nothing measured yet) returns the static ceiling;
+    * a measured cost sizes the threshold so the inspection is at most
+      :data:`INSPECT_OVERHEAD_BUDGET` of the estimated body time,
+      clamped to ``[floor, ceiling]`` — measurement can only *lower*
+      the threshold, so a pathological measurement cannot make the
+      engine inspect pathologically often, and the floor keeps the
+      fingerprint hash amortized."""
+    if inspect_cost_us is None:
+        return ceiling
+    trips = inspect_cost_us / (INSPECT_OVERHEAD_BUDGET * per_trip_us)
+    return int(max(floor, min(ceiling, trips)))
+
+
 @dataclass(frozen=True)
 class MachineModel:
     """Parameters of the modeled machine (paper's Kaby Lake R)."""

@@ -303,6 +303,13 @@ class BatchReport:
                     else ""
                 )
             )
+        if h.get("inspector"):
+            ins = h["inspector"]
+            lines.append(
+                f"runtime inspector: {ins['inspections']} inspection(s) "
+                f"({ins['hits']} memo hit(s)), {ins['passes']} pass(es), "
+                f"{ins['refusals']} refusal(s)"
+            )
         for d in h.get("oracle_downgrades", ()):
             lines.append(
                 f"VALIDATION DOWNGRADED [{d['name']}]: loop {d['loop']} -> "
@@ -846,15 +853,23 @@ def _parallel_exec_opts() -> dict:
     }
 
 
-def _execute_parallel_vs_interp(func, kernel, seed: int, max_steps: int) -> list[str]:  # noqa: ANN001
+def _execute_parallel_vs_interp(
+    func, kernel, seed: int, max_steps: int, tier: str = "static"  # noqa: ANN001
+) -> list[str]:
     """Run one kernel on the reference interpreter and the parallel
     engine and describe any divergence (final environments must match
-    exactly; a program error must reproduce with the same message)."""
+    exactly; a program error must reproduce with the same message).
+    With ``tier="hybrid"`` the inspection-amortization threshold is
+    forced to 1 so even small kernels genuinely cross the inspector."""
     import numpy as np
 
     from repro.errors import ReproError
     from repro.runtime import run_function
     from repro.runtime.engines import execute
+
+    opts = _parallel_exec_opts()
+    if tier == "hybrid":
+        opts = {**opts, "tier": "hybrid", "inspect_min_trips": 1}
 
     def outcome(runner):  # noqa: ANN001
         env = kernel.make_inputs(seed)
@@ -867,7 +882,7 @@ def _execute_parallel_vs_interp(func, kernel, seed: int, max_steps: int) -> list
     env_ref, err_ref = outcome(lambda e: run_function(func, e, max_steps=max_steps))
     env_par, err_par = outcome(
         lambda e: execute(
-            func, e, engine="parallel", max_steps=max_steps, **_parallel_exec_opts()
+            func, e, engine="parallel", max_steps=max_steps, **opts
         )
     )
     mismatches: list[str] = []
@@ -895,6 +910,7 @@ def validate_parallel_verdicts(
     engine: "str | None" = None,
     max_steps: int = 50_000_000,
     extra_kernels: "Sequence" = (),
+    tier: str = "static",
 ) -> dict[str, list[str]]:
     """Dynamically spot-check a batch report's PARALLEL verdicts.
 
@@ -922,6 +938,12 @@ def validate_parallel_verdicts(
     while validating — e.g. a failed chunk dispatch replayed serially —
     are drained into ``report.health["fallbacks"]``.
 
+    With ``tier="hybrid"`` (parallel engine only) the execution half
+    runs on the hybrid dispatch tier: kernels *without* static parallel
+    loops are validated too (their unknown-verdict loops may dispatch
+    through the runtime inspector), and the inspector's activity delta
+    is recorded in ``report.health["inspector"]``.
+
     Returns ``{request_name: [violation descriptions]}`` — empty when
     every validated verdict holds up.
     """
@@ -937,15 +959,21 @@ def validate_parallel_verdicts(
     if health is not None:
         faults.drain_fallback_notes()  # count only this validation's fallbacks
     par_engine = resolve_engine(engine) == "parallel"
+    hybrid = par_engine and tier == "hybrid"
     fabric_before = None
+    inspector_before = None
     if par_engine:
         from repro.runtime import fabric
 
         fabric_before = fabric.fabric_stats()
+    if hybrid:
+        from repro.runtime.inspector import inspector_stats
+
+        inspector_before = inspector_stats()
     executed_kernels = 0
     problems: dict[str, list[str]] = {}
     for v in report.verdicts:
-        if not v.ok or not v.parallel_loops:
+        if not v.ok or (not v.parallel_loops and not hybrid):
             continue
         kernel = kernels.get(v.name)
         if kernel is None or getattr(kernel, "make_inputs", None) is None:
@@ -988,7 +1016,7 @@ def validate_parallel_verdicts(
             executed_kernels += 1
             for seed in seeds:
                 mismatches = _execute_parallel_vs_interp(
-                    func, kernel, seed, max_steps
+                    func, kernel, seed, max_steps, tier=tier
                 )
                 for msg in mismatches:
                     problems.setdefault(v.name, []).append(msg)
@@ -1013,6 +1041,21 @@ def validate_parallel_verdicts(
                 - fabric_before["arena"]["created"],
                 "segments_recycled": after["arena"]["recycled"]
                 - fabric_before["arena"]["recycled"],
+            }
+        if hybrid and executed_kernels:
+            # inspector activity delta across the executed kernels —
+            # hits beyond the first inspection per distinct input mean
+            # the content-addressed memo amortized (cf. the fabric
+            # warm-dispatch accounting above)
+            from repro.runtime.inspector import inspector_stats
+
+            after_i = inspector_stats()
+            health["inspector"] = {
+                "inspections": after_i["inspections"]
+                - inspector_before["inspections"],
+                "hits": after_i["hits"] - inspector_before["hits"],
+                "passes": after_i["passes"] - inspector_before["passes"],
+                "refusals": after_i["refusals"] - inspector_before["refusals"],
             }
     return problems
 

@@ -12,7 +12,8 @@ A *fault plan* is a list of rules ``site:glob[:times]``:
   ``worker.transient``, ``worker.error``, ``analysis.passes``,
   ``engine.compiled``, ``engine.parallel.worker``,
   ``engine.parallel.shm``, ``engine.parallel.pool_reuse``,
-  ``engine.parallel.arena``, ``oracle.timeout``, ``cache.write``,
+  ``engine.parallel.arena``, ``engine.inspector.predicate``,
+  ``engine.inspector.cache``, ``oracle.timeout``, ``cache.write``,
   ``cache.corrupt``);
 * ``glob`` — an ``fnmatch`` pattern over the site's key (a kernel or
   cache-key name); defaults to ``*``;
@@ -69,6 +70,8 @@ SITES = {
     "engine.parallel.shm": "fail parallel-engine shared-memory setup (ladder: compiled serial replay)",
     "engine.parallel.pool_reuse": "fail reuse of a warm fabric pool (ladder: serial replay, pool respawns on next dispatch)",
     "engine.parallel.arena": "fail a shared-memory arena segment lease (ladder: compiled serial replay)",
+    "engine.inspector.predicate": "fail a hybrid-tier runtime inspection predicate (ladder: serial, never a wrong parallel dispatch)",
+    "engine.inspector.cache": "fail the inspector's content-addressed memo lookup (ladder: serial, never a wrong parallel dispatch)",
     "oracle.timeout": "time out an oracle check (verdict downgrades to unknown)",
     "cache.write": "raise OSError while writing a disk-cache entry",
     "cache.corrupt": "truncate the bytes written for a disk-cache entry",
@@ -225,8 +228,8 @@ def maybe_fail(site: str, key: str, attempt: "int | None" = None) -> None:
     if site == "cache.write":
         raise OSError(f"injected cache write failure for {key!r}")
     # worker.error / analysis.passes / engine.compiled /
-    # engine.parallel.*: an "unexpected" internal bug (cache.corrupt is
-    # handled at the write site itself)
+    # engine.parallel.* / engine.inspector.*: an "unexpected" internal
+    # bug (cache.corrupt is handled at the write site itself)
     raise FaultInjected(f"injected fault at {site} for {key!r}")
 
 

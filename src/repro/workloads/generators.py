@@ -586,6 +586,68 @@ def pathological_kernel(seed: int) -> RandomKernel:
     )
 
 
+def disjoint_sharing_kernel(seed: int) -> RandomKernel:
+    """Synthesize a *cross-segment disjoint-array-sharing* kernel: two
+    scatter segments write the same shared array through index maps
+    filled with **parameter** strides, so every per-loop static verdict
+    is ``unknown`` (a zero stride would alias; the analysis cannot rule
+    it out) — yet ``make_inputs`` always draws strides ``>= 1``, the
+    maps are injective, and the two segments' write ranges are disjoint
+    by construction (segment B is offset past segment A's maximal
+    extent).  This is the natural generator of inspector-decidable
+    ``unknown`` kernels: the hybrid tier's runtime inspection passes on
+    every input, while the static tier must stay serial.
+
+    Deliberately **not** part of :data:`_SEGMENT_FAMILIES`: adding a
+    family there would reshuffle ``rng.choice`` for every existing fuzz
+    seed and silently change the whole differential corpus.
+    """
+    rng = rng_of(seed)
+    name = f"share{seed}"
+    k1 = int(rng.integers(1, 10))
+    k2 = int(rng.integers(1, 10))
+    # segment B: half the seeds scatter, half read-modify-write — both
+    # shapes need the same injectivity fact from the inspector
+    if int(rng.integers(0, 2)) == 0:
+        family_b = "scatter"
+        stmt_b = f"shr[offb[i]] = srcb[i] + {k2};"
+    else:
+        family_b = "rmw"
+        stmt_b = f"shr[offb[i]] = shr[offb[i]] + srcb[i] + {k2};"
+    family = f"disjoint_shared(b={family_b})"
+    # strides sa, sb <= 3, so segment A writes within [0, 3n-3] and
+    # segment B within [3n+1, 6n-2]: disjoint, and both inside 6n+4
+    source = (
+        f"void {name}(int shr[], int offa[], int offb[], int srca[], "
+        "int srcb[], int sa, int sb, int n)\n"
+        "{\n"
+        "    int i, j, l;\n"
+        "    for (i = 0; i < n; i++) { offa[i] = i * sa; }\n"
+        f"    for (i = 0; i < n; i++) {{ shr[offa[i]] = srca[i] + {k1}; }}\n"
+        "    for (i = 0; i < n; i++) { offb[i] = i * sb + 3 * n + 1; }\n"
+        f"    for (i = 0; i < n; i++) {{ {stmt_b} }}\n"
+        "}\n"
+    )
+
+    def make_inputs(input_seed: int) -> "dict[str, Any]":
+        irng = rng_of(input_seed)
+        n = int(irng.integers(4, 33))
+        return {
+            "n": n,
+            "sa": int(irng.integers(1, 4)),
+            "sb": int(irng.integers(1, 4)),
+            "shr": np.zeros(6 * n + 4, dtype=np.int64),
+            "offa": np.zeros(n, dtype=np.int64),
+            "offb": np.zeros(n, dtype=np.int64),
+            "srca": irng.integers(0, 50, size=n).astype(np.int64),
+            "srcb": irng.integers(0, 50, size=n).astype(np.int64),
+        }
+
+    return RandomKernel(
+        name=name, source=source, families=(family,), make_inputs=make_inputs
+    )
+
+
 # -- dense matrices for the Figure 9 pipeline -------------------------------------------
 
 

@@ -576,6 +576,161 @@ class TestFabricChaos:
                 self._execute(func, k.make_inputs(0))
 
 
+class TestInspectorChaos:
+    """PR 10's hybrid-tier rungs: a fault in the runtime inspector —
+    predicate evaluation or the content-addressed memo lookup — must
+    degrade that loop to serial with an ``inspector:serial`` note,
+    never a wrong (uninspected) parallel dispatch, and the fallback
+    must land in batch health."""
+
+    SRC = """
+    void scat(int a[], int idx[], int b[], int n)
+    {
+        int i;
+        for (i = 0; i < n; i++) { a[idx[i]] = b[i] + 1; }
+    }
+    """
+
+    def _inputs(self, seed=0, dup=False):
+        rng = np.random.default_rng(seed)
+        n = 512
+        idx = rng.permutation(n).astype(np.int64)
+        if dup:
+            idx[5] = idx[7]
+        return {
+            "a": np.zeros(n, np.int64),
+            "idx": idx,
+            "b": np.arange(n, dtype=np.int64),
+            "n": n,
+        }
+
+    def _cold_memo(self):
+        from repro.runtime import inspector
+
+        inspector._INSPECT_CACHE.clear()
+
+    def _execute(self, func, env):
+        from repro.runtime.engines import execute
+
+        execute(
+            func,
+            env,
+            engine="parallel",
+            workers=2,
+            mp_min_trips=8,
+            tier="hybrid",
+            inspect_min_trips=1,
+        )
+
+    def _pf(self, func):
+        from repro.runtime.parallel import compile_parallel
+
+        return compile_parallel(func, tier="hybrid")
+
+    @pytest.mark.parametrize(
+        "site", ["engine.inspector.predicate", "engine.inspector.cache"]
+    )
+    def test_inspector_fault_degrades_to_serial(self, site):
+        from repro.ir import build_function
+        from repro.runtime import run_function
+
+        func = build_function(self.SRC)
+        env_ref = self._inputs()
+        run_function(func, env_ref)
+        self._cold_memo()
+        env = self._inputs()
+        with faults.injected(f"{site}:*:1"):
+            self._execute(func, env)
+        notes = faults.drain_fallback_notes()
+        assert [kind for kind, _ in notes] == ["inspector:serial"]
+        assert "FaultInjected" in notes[0][1]
+        c = self._pf(func).last_counters
+        assert c["inspection_fallbacks"] == 1
+        assert c["parallel_activations"] == 0  # serial, never uninspected
+        for name, val in env_ref.items():
+            if isinstance(val, np.ndarray):
+                assert np.array_equal(val, env[name]), name
+
+    def test_recovery_after_consumed_fault(self):
+        """Once the one-shot fault is consumed, the next activation
+        inspects for real and dispatches parallel again."""
+        from repro.ir import build_function
+
+        func = build_function(self.SRC)
+        self._cold_memo()
+        with faults.injected("engine.inspector.predicate:*:1"):
+            self._execute(func, self._inputs())
+            faults.drain_fallback_notes()
+            self._execute(func, self._inputs())
+        c = self._pf(func).last_counters
+        assert c["inspection_passes"] == 1
+        assert c["parallel_activations"] == 1
+        assert faults.drain_fallback_notes() == []
+
+    def test_refusal_is_not_a_fallback(self):
+        """A *refused* inspection (duplicate subscripts) is the system
+        working, not degrading: serial execution, refusal counted, no
+        fallback note."""
+        from repro.ir import build_function
+        from repro.runtime import run_function
+
+        func = build_function(self.SRC)
+        self._cold_memo()
+        env_ref = self._inputs(dup=True)
+        run_function(func, env_ref)
+        env = self._inputs(dup=True)
+        self._execute(func, env)
+        c = self._pf(func).last_counters
+        assert c["inspection_refusals"] == 1
+        assert c["parallel_activations"] == 0
+        assert faults.drain_fallback_notes() == []
+        for name, val in env_ref.items():
+            if isinstance(val, np.ndarray):
+                assert np.array_equal(val, env[name]), name
+
+    def test_inspector_fault_lands_in_batch_health(self):
+        import types
+
+        from repro.service import validate_parallel_verdicts
+
+        kernel = types.SimpleNamespace(
+            name="chaos_scat",
+            source=self.SRC,
+            make_inputs=lambda seed: self._inputs(seed),
+        )
+        report = BatchEngine(jobs=1, cache=ResultCache()).run(
+            [AnalysisRequest(name=kernel.name, source=kernel.source)]
+        )
+        # statically unknown: no parallel loops in the verdict — only
+        # the hybrid tier validates (and inspects) it at all
+        assert report.verdict(kernel.name).parallel_loops == []
+        self._cold_memo()
+        with faults.injected("engine.inspector.predicate:*:1"):
+            problems = validate_parallel_verdicts(
+                report,
+                seeds=(0, 1),
+                engine="parallel",
+                tier="hybrid",
+                extra_kernels=[kernel],
+            )
+        assert problems == {}  # serial execution is exact: no violation
+        assert report.health["fallbacks"] == {"inspector:serial": 1}
+        ins = report.health["inspector"]
+        assert ins["passes"] >= 1  # the non-faulted seed inspected fine
+        assert "inspector:serial" in report.render()
+        assert "runtime inspector:" in report.render()
+
+    def test_inspector_kill_switch(self, monkeypatch):
+        from repro.ir import build_function
+
+        func = build_function(self.SRC)
+        self._cold_memo()
+        monkeypatch.setenv(faults.FALLBACK_ENV_VAR, "0")
+        with faults.injected("engine.inspector.predicate:*:1"):
+            with pytest.raises(faults.FaultInjected):
+                self._execute(func, self._inputs())
+
+
 # --------------------------------------------------------------------------
 # disk-cache chaos
 # --------------------------------------------------------------------------

@@ -121,6 +121,7 @@ class TestCli:
             "compare.prover",
             "framework.nest",
             "parallel.functions",
+            "runtime.inspections",
         }
 
     def test_bench_analysis_check_catches_regression(self):

@@ -143,6 +143,7 @@ class TestMemoHygiene:
         "compare.prover",
         "framework.nest",
         "parallel.functions",
+        "runtime.inspections",
     }
 
     def test_cold_run_reports_zero_entries_everywhere(self):
