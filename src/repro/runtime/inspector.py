@@ -249,8 +249,14 @@ def _check_injective(point: Expr):
 def _check_points(pa: Expr, pb: Expr):
     def run(ctx: _Ctx, ma: np.ndarray, mb: np.ndarray) -> "str | None":
         lanes = np.arange(ctx.n)
-        va = ctx.eval(pa, ma)
-        vb = va if pb is pa else ctx.eval(pb, mb)
+        if pb is pa:
+            # one evaluation under the union mask: lanes in mb but not
+            # ma would otherwise hold the arbitrary values the eval
+            # contract forbids reading
+            va = vb = ctx.eval(pa, ma | mb)
+        else:
+            va = ctx.eval(pa, ma)
+            vb = ctx.eval(pb, mb)
         vals = np.concatenate([va[ma], vb[mb]])
         ids = np.concatenate([lanes[ma], lanes[mb]])
         if not _cross_iteration_conflict(vals, ids):
@@ -448,9 +454,11 @@ def _ind_interval(ind: IndirectIndex) -> "tuple[Expr, Expr] | None":
 
 def _dim_checker(
     da: DimAccess, db: DimAccess, self_pair: bool
-) -> "tuple[str, Callable, list[Expr]] | None":
+) -> "tuple[str, Callable, list[Expr], tuple[str, ...]] | None":
     """One dimension's separation predicate, or None if no predicate in
-    the vocabulary applies to this shape combination."""
+    the vocabulary applies to this shape combination.  The last element
+    names arrays whose *values* the predicate reads beyond what appears
+    in the returned exprs — they must key the inspection memo too."""
     ia, ib = da.indirect, db.indirect
     if ia is not None or ib is not None:
         if ia is None or ib is None or ia.via != ib.via:
@@ -458,19 +466,27 @@ def _dim_checker(
         ra, rb = _ind_interval(ia), _ind_interval(ib)
         if ra is None or rb is None:
             return None
+        # the verdict depends on the via array's contents (the
+        # np.unique window), not just the argument intervals
         return (
             "indirect-injectivity",
             _check_indirect(ia.via, ra, rb),
             [*ra, *rb],
+            (ia.via,),
         )
     if self_pair and da.point is not None:
-        return ("injectivity", _check_injective(da.point), [da.point])
+        return ("injectivity", _check_injective(da.point), [da.point], ())
     if da.point is not None and db.point is not None:
-        return ("value-disjointness", _check_points(da.point, db.point), [da.point, db.point])
+        return (
+            "value-disjointness",
+            _check_points(da.point, db.point),
+            [da.point, db.point],
+            (),
+        )
     ra, rb = _interval(da), _interval(db)
     if ra is None or rb is None:
         return None
-    return ("range-disjointness", _check_hulls(*ra, *rb), [*ra, *rb])
+    return ("range-disjointness", _check_hulls(*ra, *rb), [*ra, *rb], ())
 
 
 def _collect_refs(e: Expr, arrays: set[str], scalars: set[str]) -> None:
@@ -534,10 +550,11 @@ def lower_inspector(
             lowered = _dim_checker(a.index.dim(d), b.index.dim(d), a is b)
             if lowered is None:
                 continue
-            name, fn, exprs = lowered
+            name, fn, exprs, value_arrays = lowered
             dims.append((name, fn))
             if name not in preds:
                 preds.append(name)
+            arrays.update(value_arrays)
             note_exprs(exprs, a.guards)
             note_exprs(exprs, b.guards)
         if not dims:

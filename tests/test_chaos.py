@@ -506,6 +506,7 @@ class TestFabricChaos:
         func = build_function(k.source)
         env_ref = k.make_inputs(0)
         run_function(func, env_ref)
+        fabric.shutdown_fabric()  # earlier tests may have left a warm pool
         with faults.injected("engine.parallel.pool_reuse:*:1"):
             env = k.make_inputs(0)
             self._execute(func, env)  # cold dispatch: site arms, can't fire

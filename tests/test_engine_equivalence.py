@@ -274,6 +274,69 @@ class TestHybridTierEquivalence:
         assert res.failed is not None
         assert "injectivity" in res.failed or "value-disjointness" in res.failed
 
+    def test_via_array_mutation_invalidates_memo(self):
+        """Regression: the indirect-injectivity verdict reads the *via*
+        index array's values (the np.unique window), so its bytes must
+        key the inspection memo.  A CSR-style scatter whose col array
+        mutates in place from injective to all-duplicates — shapes,
+        dtypes and every other binding byte-identical — must be
+        re-inspected and refused, never served a stale PARALLEL."""
+        from repro.runtime import inspector
+        from repro.runtime.parallel import compile_parallel
+
+        src = """
+        void csr_scat(int ptr[], int col[], int y[], int n)
+        {
+            int i, j;
+            for (i = 0; i < n; i++) {
+                for (j = ptr[i]; j < ptr[i+1]; j++) {
+                    y[col[j]] = y[col[j]] + 1;
+                }
+            }
+        }
+        """
+        func = build_function(src)
+        pf = compile_parallel(func, tier="hybrid")
+        assert "L1" in pf.inspectors
+        # the via array's contents feed the verdict: its bytes must be
+        # part of the content key
+        assert "col" in pf.inspectors["L1"].index_arrays
+
+        n = 300
+        ptr = np.zeros(n + 1, np.int64)
+        np.cumsum(np.full(n, 2, np.int64), out=ptr[1:])
+        nnz = int(ptr[-1])
+        col = np.arange(nnz, dtype=np.int64)  # injective
+        env = {"n": n, "ptr": ptr, "col": col, "y": np.zeros(nnz, np.int64)}
+
+        env_i = _copy_env(env)
+        run_function(func, env_i)
+        env_h = _copy_env(env)
+        pf.run(env_h, workers=2, mp_min_trips=16, inspect_min_trips=1)
+        _assert_env_equal(env_i, env_h, "csr-scatter injective [hybrid]")
+        first = pf.last_inspections["L1"]
+        assert first.parallel and not first.cached
+        assert pf.last_counters["inspection_passes"] == 1
+
+        # mutate the via array IN PLACE: every other binding identical
+        env["col"][:] = np.repeat(np.arange(nnz // 2, dtype=np.int64), 2)[:nnz]
+        key_dup = inspector.content_key(pf.inspectors["L1"], env, 0, n)
+        env["col"][:] = np.arange(nnz, dtype=np.int64)
+        key_inj = inspector.content_key(pf.inspectors["L1"], env, 0, n)
+        assert key_dup != key_inj, "content key must hash the via array's bytes"
+        env["col"][:] = np.repeat(np.arange(nnz // 2, dtype=np.int64), 2)[:nnz]
+
+        env_i = _copy_env(env)
+        run_function(func, env_i)
+        env_h = _copy_env(env)
+        pf.run(env_h, workers=2, mp_min_trips=16, inspect_min_trips=1)
+        _assert_env_equal(env_i, env_h, "csr-scatter duplicates [hybrid]")
+        second = pf.last_inspections["L1"]
+        assert not second.parallel and not second.cached
+        assert second.failed is not None and "indirect-injectivity" in second.failed
+        assert pf.last_counters["inspection_refusals"] == 1
+        assert pf.last_counters["parallel_activations"] == 0
+
     @pytest.mark.parametrize("seed", [0, 2])  # one rmw, one scatter variant
     def test_disjoint_sharing_kernel_dispatches_parallel(self, seed):
         """The cross-segment disjoint-array-sharing generator is the
